@@ -1,0 +1,45 @@
+"""Fig. 4 — Instant-NGP training-runtime breakdown on the three edge devices.
+
+Paper result: on Jetson Nano, Jetson TX2 and Xavier NX alike, Step ❸-①
+(interpolating embeddings from the embedding grid) plus its back-propagation
+dominates the training runtime (~80 %), motivating the whole co-design.
+
+This benchmark applies the calibrated device models to the paper-scale
+Instant-NGP workload and prints the per-category share for each device.
+"""
+
+from benchmarks.common import device_estimates, print_report
+from repro.analysis.breakdown import (
+    CATEGORY_GRID,
+    CATEGORY_MLP,
+    CATEGORY_OTHER,
+    runtime_breakdown,
+)
+
+
+def _run():
+    rows = []
+    breakdowns = {}
+    for name, estimate in device_estimates().items():
+        breakdown = runtime_breakdown(estimate)
+        breakdowns[name] = breakdown
+        rows.append([
+            name,
+            f"{estimate.total_s:.1f}",
+            f"{100 * breakdown.fraction(CATEGORY_GRID):.1f}%",
+            f"{100 * breakdown.fraction(CATEGORY_MLP):.1f}%",
+            f"{100 * breakdown.fraction(CATEGORY_OTHER):.1f}%",
+        ])
+    return rows, breakdowns
+
+
+def test_fig04_runtime_breakdown(benchmark):
+    rows, breakdowns = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Fig. 4 — Instant-NGP training runtime breakdown (NeRF-Synthetic avg.)",
+        ["Device", "Total (s)", "Grid interp + backprop", "MLP + backprop", "Other steps"],
+        rows,
+    )
+    # The paper's observation: the grid step dominates on every device.
+    for breakdown in breakdowns.values():
+        assert breakdown.grid_fraction > 0.7

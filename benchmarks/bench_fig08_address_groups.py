@@ -1,0 +1,62 @@
+"""Fig. 8 — the eight neighbour-vertex addresses cluster into four groups.
+
+Paper result: during embedding-grid interpolation the eight surrounding
+vertices of a queried point form four groups of two (same y/z, differing x);
+addresses inside a group are close while different groups are far apart in
+the 1-D hash table (average inter-group distance ~60,000 for the full-size
+table), consistently across the NeRF-Synthetic scenes.
+"""
+
+import numpy as np
+
+from benchmarks.common import print_report, synthetic_datasets
+from repro.analysis.access_patterns import address_group_stats
+from repro.grid.hash_encoding import HashGridConfig, MultiResHashGrid
+from repro.nerf.cameras import sample_pixel_batch
+from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
+from repro.utils.seeding import derive_rng
+
+#: A single hashed level comparable to Instant-NGP's fine levels.
+_LEVEL_CONFIG = HashGridConfig(n_levels=1, n_features_per_level=2,
+                               log2_hashmap_size=16, base_resolution=128,
+                               finest_resolution=128)
+
+
+def _scene_points(dataset, n_points: int = 2048, seed: int = 0):
+    rng = derive_rng(seed, f"fig08:{dataset.name}")
+    bundle, _ = sample_pixel_batch(dataset.train_cameras, dataset.train_images,
+                                   n_points // 16, rng)
+    t_vals, _ = stratified_samples(bundle, 16, rng=rng)
+    points, _dirs = ray_points(bundle, t_vals)
+    return normalize_points_to_unit_cube(points, dataset.scene_bound)
+
+
+def _run():
+    rows = []
+    stats_list = []
+    for dataset in synthetic_datasets():
+        grid = MultiResHashGrid(_LEVEL_CONFIG, rng=derive_rng(1, dataset.name))
+        grid.forward(_scene_points(dataset))
+        stats = address_group_stats(grid.last_access, level=0)
+        stats_list.append(stats)
+        rows.append([
+            dataset.name,
+            f"{stats.mean_intra_group_distance:.2f}",
+            f"{stats.mean_inter_group_distance:,.0f}",
+            f"{100 * stats.fraction_intra_within_threshold:.1f}%",
+        ])
+    return rows, stats_list
+
+
+def test_fig08_address_groups(benchmark):
+    rows, stats_list = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Fig. 8 — address clustering of the 8 neighbour vertices (per scene)",
+        ["Scene", "Mean |intra-group| distance", "Mean inter-group distance",
+         "Intra-group within [-5, 5]"],
+        rows,
+    )
+    for stats in stats_list:
+        # Four groups far apart, members of a group close together.
+        assert stats.mean_inter_group_distance > 1000
+        assert stats.mean_inter_group_distance > 100 * max(stats.mean_intra_group_distance, 1.0)

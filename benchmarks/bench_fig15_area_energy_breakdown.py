@@ -1,0 +1,42 @@
+"""Fig. 15 — accelerator specifications, area and energy breakdown.
+
+Paper result: the 28 nm design occupies 6.8 mm^2, runs at 800 MHz / 1 V with
+1.5 MB of SRAM and 1.9 W average power; the grid cores take ~78 % of the area
+and ~81 % of the energy, the MLP units most of the remainder.
+"""
+
+from benchmarks.common import accelerator_estimate, print_report
+from repro.accelerator import AcceleratorConfig, AreaModel
+
+
+def _run():
+    config = AcceleratorConfig()
+    area = AreaModel(config).breakdown()
+    estimate = accelerator_estimate()
+    energy = estimate.energy
+
+    area_rows = [[name, f"{mm2:.2f}", f"{100 * mm2 / area.total_mm2:.1f}%"]
+                 for name, mm2 in sorted(area.components_mm2.items())]
+    energy_rows = [[name, f"{joules:.3f}", f"{100 * joules / energy.total_j:.1f}%"]
+                   for name, joules in sorted(energy.components_j.items())]
+    return config, area, estimate, area_rows, energy_rows
+
+
+def test_fig15_area_energy_breakdown(benchmark):
+    config, area, estimate, area_rows, energy_rows = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    print_report(
+        "Fig. 15(a) — accelerator specs",
+        ["Technology", "Area", "Frequency", "SRAM", "Avg. power (simulated run)"],
+        [[f"{config.technology_nm} nm", f"{area.total_mm2:.1f} mm^2",
+          f"{config.frequency_hz / 1e6:.0f} MHz",
+          f"{config.total_sram_bytes / 1e6:.1f} MB",
+          f"{estimate.average_power_w:.2f} W"]],
+    )
+    print_report("Fig. 15(b) — area breakdown", ["Component", "mm^2", "Share"], area_rows)
+    print_report("Fig. 15(b) — energy breakdown (one training run)",
+                 ["Component", "Joules", "Share"], energy_rows)
+    # Shape checks against the published breakdown.
+    assert 0.70 < area.fraction("grid_cores") < 0.85
+    assert 0.10 < area.fraction("mlp") < 0.30
+    assert estimate.average_power_w < 2.5

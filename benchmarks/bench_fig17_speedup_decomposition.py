@@ -1,0 +1,59 @@
+"""Fig. 17 — decomposition of the speedup over Instant-NGP on Xavier NX.
+
+Paper result: the overall 45x speedup over Instant-NGP on Xavier NX factors
+into ~2.7x from the Instant-3D algorithm, ~3.1x from the FRM + BUM units and
+~5.3x from the multi-core-fusion scheduling scheme.
+
+The reproduction builds the same cumulative ladder: (1) the Instant-NGP-sized
+grids on a stripped accelerator (no FRM, no BUM, no fusion), (2) + the
+Instant-3D algorithm, (3) + FRM and BUM, (4) + the fusion scheme, each
+normalised to the Xavier NX Instant-NGP runtime.
+"""
+
+from benchmarks.common import accelerator_estimate, device_estimates, print_report
+
+
+def _run():
+    xavier_runtime = device_estimates()["Xavier NX"].total_s
+    ladder = [
+        ("Instant-NGP grids, no FRM/BUM/fusion",
+         accelerator_estimate(frm=False, bum=False, fusion=False,
+                              workload_key="instant_ngp_gpu")),
+        ("+ Instant-3D algorithm",
+         accelerator_estimate(frm=False, bum=False, fusion=False)),
+        ("+ FRM and BUM units",
+         accelerator_estimate(frm=True, bum=True, fusion=False)),
+        ("+ multi-core fusion scheduling",
+         accelerator_estimate(frm=True, bum=True, fusion=True)),
+    ]
+    rows = []
+    cumulative = []
+    previous_runtime = None
+    for label, estimate in ladder:
+        speedup_vs_xavier = xavier_runtime / estimate.total_s
+        step_factor = (previous_runtime / estimate.total_s
+                       if previous_runtime is not None else None)
+        cumulative.append(speedup_vs_xavier)
+        rows.append([
+            label,
+            f"{estimate.total_s:.2f}",
+            f"{speedup_vs_xavier:.2f}x",
+            f"{step_factor:.2f}x" if step_factor is not None else "-",
+        ])
+        previous_runtime = estimate.total_s
+    return rows, cumulative
+
+
+def test_fig17_speedup_decomposition(benchmark):
+    rows, cumulative = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Fig. 17 — cumulative speedup over Instant-NGP on Xavier NX",
+        ["Configuration", "Runtime (s)", "Speedup vs Xavier NX", "Step factor"],
+        rows,
+    )
+    # Shape checks: every added technique contributes a real factor, and the
+    # cumulative speedup is strictly increasing along the ladder.
+    assert cumulative[1] > cumulative[0] * 1.3      # algorithm (paper: 2.7x)
+    assert cumulative[2] > cumulative[1] * 1.3      # FRM + BUM (paper: 3.1x)
+    assert cumulative[3] > cumulative[2] * 1.5      # fusion scheduling (paper: 5.3x)
+    assert cumulative[3] > 3.0

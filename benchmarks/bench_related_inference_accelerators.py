@@ -1,0 +1,66 @@
+"""Sec. 6 — comparison against prior NeRF *inference* accelerators.
+
+Paper statements: compared with the SOTA NeRF inference accelerator RT-NeRF,
+Instant-3D renders in real time (>30 FPS) while using only 19.5 % of the
+energy per frame and 36 % of the chip area; prior inference accelerators
+cannot train at all, which is why they are not runtime baselines.
+
+The reproduction models the published design points of RT-NeRF and ICARUS as
+static reference specs and compares the Instant-3D area/energy model against
+them, checking the relative positions the paper reports.
+"""
+
+from dataclasses import dataclass
+
+from benchmarks.common import accelerator_estimate, print_report
+from repro.accelerator import AcceleratorConfig, AreaModel
+
+
+@dataclass(frozen=True)
+class InferenceAcceleratorSpec:
+    """Published design point of a prior NeRF inference accelerator."""
+
+    name: str
+    area_mm2: float
+    energy_per_frame_mj: float
+    supports_training: bool
+
+
+#: Published design points (RT-NeRF, ICCAD'22; ICARUS, SIGGRAPH Asia'22).
+RT_NERF = InferenceAcceleratorSpec(name="RT-NeRF", area_mm2=18.9,
+                                   energy_per_frame_mj=33.0, supports_training=False)
+ICARUS = InferenceAcceleratorSpec(name="ICARUS", area_mm2=16.5,
+                                  energy_per_frame_mj=778.0, supports_training=False)
+
+
+def _run():
+    config = AcceleratorConfig()
+    area = AreaModel(config).breakdown()
+    estimate = accelerator_estimate()
+    # Rendering a frame exercises only the feed-forward path; approximate the
+    # per-frame energy from the forward share of one training iteration's
+    # energy at 30 FPS-scale pixel counts.
+    per_iteration_energy_j = estimate.energy_j / estimate.n_iterations
+    frame_energy_mj = 1e3 * per_iteration_energy_j * 0.4
+    rows = [
+        [RT_NERF.name, f"{RT_NERF.area_mm2:.1f}", f"{RT_NERF.energy_per_frame_mj:.1f}",
+         "no"],
+        [ICARUS.name, f"{ICARUS.area_mm2:.1f}", f"{ICARUS.energy_per_frame_mj:.1f}",
+         "no"],
+        ["Instant-3D (this work)", f"{area.total_mm2:.1f}", f"{frame_energy_mj:.1f}",
+         "yes"],
+    ]
+    return rows, area, frame_energy_mj
+
+
+def test_related_inference_accelerators(benchmark):
+    rows, area, frame_energy_mj = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Sec. 6 — comparison with prior NeRF inference accelerators",
+        ["Accelerator", "Area (mm^2)", "Energy per frame (mJ)", "Supports training"],
+        rows,
+    )
+    # Paper: ~36 % of RT-NeRF's chip area and a fraction of its per-frame energy,
+    # while additionally supporting training.
+    assert area.total_mm2 < 0.5 * RT_NERF.area_mm2
+    assert frame_energy_mj < RT_NERF.energy_per_frame_mj

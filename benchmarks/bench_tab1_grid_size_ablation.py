@@ -1,0 +1,75 @@
+"""Tab. 1 — PSNR vs training runtime for different grid-size ratios S_D : S_C.
+
+Paper result (Xavier NX, NeRF-Synthetic average):
+
+    S_D : S_C   runtime   PSNR
+    1 : 1        72 s     26.0     (Instant-NGP baseline)
+    0.25 : 1     65 s     25.4     (shrinking the *density* grid hurts)
+    1 : 0.25     63 s     26.0     (shrinking the *color* grid is free)
+
+PSNR comes from real (reduced-scale) training; the runtime column comes from
+the Xavier NX device model on the paper-scale workload with the matching
+ratio, so the relative runtime ordering is reproduced at paper scale.
+"""
+
+from benchmarks.common import (
+    average_psnr,
+    bench_config,
+    paper_workloads,
+    print_report,
+    synthetic_datasets,
+    train_on_suite,
+)
+from repro.accelerator.devices import XAVIER_NX, EdgeGPUModel
+from repro.core.config import Instant3DConfig
+from repro.training.profiler import WorkloadScale, build_iteration_workload
+
+
+def _runtime_for(color_size_ratio: float, density_size_ratio: float) -> float:
+    """Xavier NX runtime of the paper-scale workload with the given sizes."""
+    base = Instant3DConfig.paper_scale_baseline()
+    if density_size_ratio != 1.0:
+        config = Instant3DConfig(
+            grid=base.grid.scaled(density_size_ratio),
+            color_size_ratio=1.0 / density_size_ratio,
+            mlp_hidden_width=base.mlp_hidden_width,
+            mlp_hidden_layers=base.mlp_hidden_layers,
+            n_samples_per_ray=base.n_samples_per_ray,
+            batch_pixels=base.batch_pixels,
+        )
+    else:
+        config = base.with_ratios(color_size_ratio=color_size_ratio)
+    workload = build_iteration_workload(config, WorkloadScale.paper_scale())
+    return EdgeGPUModel(XAVIER_NX).estimate_training(workload).total_s
+
+
+def _run():
+    datasets = synthetic_datasets()
+    settings = [
+        ("1:1 (Instant-NGP)", bench_config(), _runtime_for(1.0, 1.0)),
+        ("0.25:1", bench_config(density_size_ratio=0.25), _runtime_for(1.0, 0.25)),
+        ("1:0.25", bench_config(color_size_ratio=0.25), _runtime_for(0.25, 1.0)),
+    ]
+    rows = []
+    psnrs = {}
+    for label, config, runtime in settings:
+        results = train_on_suite(datasets, config)
+        psnr = average_psnr(results)
+        psnrs[label] = psnr
+        rows.append([label, f"{runtime:.1f}", f"{psnr:.2f}"])
+    return rows, psnrs
+
+
+def test_tab1_grid_size_ablation(benchmark):
+    rows, psnrs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Tab. 1 — grid-size ratio S_D:S_C vs runtime and PSNR",
+        ["S_D : S_C", "Modelled Xavier NX runtime (s)", "Avg. test PSNR (measured)"],
+        rows,
+    )
+    # Shape checks from the paper: shrinking the color grid keeps quality in
+    # the baseline's class.  (At the reduced benchmark scale the 0.25:1 vs
+    # 1:0.25 ordering itself is within training noise — see EXPERIMENTS.md —
+    # so it is reported but only loosely asserted.)
+    assert psnrs["1:0.25"] >= psnrs["1:1 (Instant-NGP)"] - 1.5
+    assert psnrs["1:0.25"] >= psnrs["0.25:1"] - 1.5

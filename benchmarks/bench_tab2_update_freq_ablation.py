@@ -1,0 +1,62 @@
+"""Tab. 2 — PSNR vs training runtime for different update frequencies F_D : F_C.
+
+Paper result (Xavier NX, NeRF-Synthetic average):
+
+    F_D : F_C   runtime   PSNR
+    1 : 1        72 s     26.0     (Instant-NGP baseline)
+    0.5 : 1      67 s     24.3     (updating the density grid less hurts)
+    1 : 0.5      65 s     25.9     (updating the color grid less is nearly free)
+
+PSNR comes from real reduced-scale training with the corresponding update
+schedules; the runtime column comes from the Xavier NX device model on the
+paper-scale workload.
+"""
+
+from benchmarks.common import (
+    average_psnr,
+    bench_config,
+    print_report,
+    synthetic_datasets,
+    train_on_suite,
+)
+from repro.accelerator.devices import XAVIER_NX, EdgeGPUModel
+from repro.core.config import Instant3DConfig
+from repro.training.profiler import WorkloadScale, build_iteration_workload
+
+
+def _runtime_for(density_freq: float, color_freq: float) -> float:
+    config = Instant3DConfig.paper_scale_baseline().with_ratios(
+        density_update_freq=density_freq, color_update_freq=color_freq)
+    workload = build_iteration_workload(config, WorkloadScale.paper_scale())
+    return EdgeGPUModel(XAVIER_NX).estimate_training(workload).total_s
+
+
+def _run():
+    datasets = synthetic_datasets()
+    settings = [
+        ("1:1 (Instant-NGP)", bench_config(), _runtime_for(1.0, 1.0)),
+        ("0.5:1", bench_config(density_update_freq=0.5), _runtime_for(0.5, 1.0)),
+        ("1:0.5", bench_config(color_update_freq=0.5), _runtime_for(1.0, 0.5)),
+    ]
+    rows = []
+    psnrs = {}
+    for label, config, runtime in settings:
+        results = train_on_suite(datasets, config)
+        psnr = average_psnr(results)
+        psnrs[label] = psnr
+        rows.append([label, f"{runtime:.1f}", f"{psnr:.2f}"])
+    return rows, psnrs
+
+
+def test_tab2_update_freq_ablation(benchmark):
+    rows, psnrs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Tab. 2 — update-frequency ratio F_D:F_C vs runtime and PSNR",
+        ["F_D : F_C", "Modelled Xavier NX runtime (s)", "Avg. test PSNR (measured)"],
+        rows,
+    )
+    # Shape check: halving the color update frequency keeps quality in the
+    # baseline's class (the strict 0.5:1 vs 1:0.5 ordering is reported but
+    # only loosely asserted at the reduced benchmark scale).
+    assert psnrs["1:0.5"] >= psnrs["1:1 (Instant-NGP)"] - 1.5
+    assert psnrs["1:0.5"] >= psnrs["0.5:1"] - 1.5

@@ -1,0 +1,52 @@
+"""Tab. 3 — specifications of the considered devices.
+
+Reproduces the device-specification summary: the three Jetson-class baselines
+(from their data sheets, as used by the paper) and the Instant-3D accelerator
+design point from the accelerator configuration and area model.
+"""
+
+from benchmarks.common import print_report
+from repro.accelerator import AcceleratorConfig, AreaModel, JETSON_NANO, JETSON_TX2, XAVIER_NX
+
+
+def _run():
+    config = AcceleratorConfig()
+    area = AreaModel(config).breakdown()
+    rows = []
+    for spec in (JETSON_NANO, JETSON_TX2, XAVIER_NX):
+        rows.append([
+            spec.name,
+            f"{spec.technology_nm} nm",
+            f"{spec.sram_mb:.1f} MB",
+            f"{spec.area_mm2:.0f} mm^2" if spec.area_mm2 else "N/A",
+            f"{spec.frequency_ghz:.1f} GHz",
+            spec.dram,
+            f"{spec.dram_bandwidth_gbs:.1f} GB/s",
+            f"{spec.typical_power_w:.1f} W",
+        ])
+    rows.append([
+        config.name,
+        f"{config.technology_nm} nm",
+        f"{config.total_sram_bytes / 1e6:.1f} MB",
+        f"{area.total_mm2:.1f} mm^2",
+        f"{config.frequency_hz / 1e9:.1f} GHz",
+        "LPDDR4-1866",
+        f"{config.dram_bandwidth_bytes_per_s / 1e9:.1f} GB/s",
+        f"{config.typical_power_w:.1f} W",
+    ])
+    return rows, config, area
+
+
+def test_tab3_device_specs(benchmark):
+    rows, config, area = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Tab. 3 — device specifications",
+        ["Device", "Technology", "SRAM", "Area", "Frequency", "DRAM", "Bandwidth", "Power"],
+        rows,
+    )
+    # Published accelerator design point: 28 nm, ~1.5 MB SRAM, ~6.8 mm^2,
+    # 0.8 GHz, 1.9 W, LPDDR4-1866.
+    assert config.technology_nm == 28
+    assert 1.0e6 < config.total_sram_bytes < 2.0e6
+    assert 6.0 < area.total_mm2 < 7.6
+    assert config.typical_power_w == 1.9

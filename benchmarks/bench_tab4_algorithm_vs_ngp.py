@@ -1,0 +1,67 @@
+"""Tab. 4 — Instant-3D algorithm vs Instant-NGP on the three dataset suites.
+
+Paper result (training on Xavier NX):
+
+    suite            Instant-NGP        Instant-3D algorithm
+    NeRF-Synthetic   72 s  / 26.0 dB    60 s  / 26.0 dB
+    SILVR            135 s / 25.0 dB    111 s / 25.1 dB
+    ScanNet          84 s  / 24.9 dB    72 s  / 25.1 dB
+
+PSNR columns come from real reduced-scale training on one representative
+scene per suite; the runtime columns come from the Xavier NX device model,
+with the per-suite workload scaled by the paper's measured suite-to-suite
+runtime ratio (SILVR scenes are larger, ScanNet scenes somewhat larger, than
+NeRF-Synthetic objects).
+"""
+
+from benchmarks.common import (
+    BENCH_ITERATIONS,
+    bench_config,
+    paper_workloads,
+    print_report,
+    suite_datasets,
+    train_on_suite,
+)
+from repro.accelerator.devices import XAVIER_NX, EdgeGPUModel
+
+#: Relative per-scene workload of each suite (iterations-to-quality factor),
+#: reflecting the larger scene extent of SILVR and ScanNet captures.
+SUITE_WORKLOAD_FACTOR = {"NeRF-Synthetic": 1.0, "SILVR": 1.875, "ScanNet": 1.17}
+
+
+def _run():
+    xavier = EdgeGPUModel(XAVIER_NX)
+    ngp_runtime = xavier.estimate_training(paper_workloads()["instant_ngp_gpu"]).total_s
+    i3d_runtime = xavier.estimate_training(paper_workloads()["instant3d_gpu"]).total_s
+
+    rows = []
+    measured = {}
+    for suite, datasets in suite_datasets().items():
+        factor = SUITE_WORKLOAD_FACTOR[suite]
+        ngp_results = train_on_suite(datasets, bench_config(), BENCH_ITERATIONS)
+        i3d_results = train_on_suite(datasets, bench_config(0.25, 0.5), BENCH_ITERATIONS)
+        ngp_psnr = sum(r.rgb_psnr for r in ngp_results) / len(ngp_results)
+        i3d_psnr = sum(r.rgb_psnr for r in i3d_results) / len(i3d_results)
+        measured[suite] = (ngp_psnr, i3d_psnr, ngp_runtime * factor, i3d_runtime * factor)
+        rows.append([
+            suite,
+            f"{ngp_runtime * factor:.0f}",
+            f"{i3d_runtime * factor:.0f}",
+            f"{ngp_psnr:.2f}",
+            f"{i3d_psnr:.2f}",
+        ])
+    return rows, measured
+
+
+def test_tab4_algorithm_vs_ngp(benchmark):
+    rows, measured = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Tab. 4 — Instant-3D algorithm vs Instant-NGP (runtime modelled on Xavier NX)",
+        ["Suite", "Instant-NGP runtime (s)", "Instant-3D runtime (s)",
+         "Instant-NGP PSNR", "Instant-3D PSNR"],
+        rows,
+    )
+    for suite, (ngp_psnr, i3d_psnr, ngp_rt, i3d_rt) in measured.items():
+        # Same quality class (within reduced-scale training noise), lower runtime.
+        assert i3d_rt < ngp_rt
+        assert i3d_psnr > ngp_psnr - 3.0

@@ -1,0 +1,48 @@
+"""Tab. 5 — necessity of the algorithm-hardware co-design.
+
+Paper result (normalized runtime, Instant-NGP @ Xavier NX = 100 %):
+
+    NeRF training solution                      NeRF-Syn.  SILVR  ScanNet
+    Instant-NGP @ Xavier NX                       100       100     100
+    Instant-3D algorithm @ Xavier NX              83.3      82.2    85.7
+    Instant-3D algorithm @ Instant-3D accel.       2.3       3.4     3.2
+"""
+
+from benchmarks.bench_tab4_algorithm_vs_ngp import SUITE_WORKLOAD_FACTOR
+from benchmarks.common import accelerator_estimate, paper_workloads, print_report
+from repro.accelerator.devices import XAVIER_NX, EdgeGPUModel
+
+
+def _run():
+    xavier = EdgeGPUModel(XAVIER_NX)
+    ngp_gpu = xavier.estimate_training(paper_workloads()["instant_ngp_gpu"]).total_s
+    i3d_gpu = xavier.estimate_training(paper_workloads()["instant3d_gpu"]).total_s
+    i3d_acc = accelerator_estimate().total_s
+
+    suites = list(SUITE_WORKLOAD_FACTOR)
+    rows = []
+    for label, runtime in (
+        ("Instant-NGP @ Xavier NX", ngp_gpu),
+        ("Instant-3D algorithm @ Xavier NX", i3d_gpu),
+        ("Instant-3D algorithm @ Instant-3D accelerator", i3d_acc),
+    ):
+        # The workload factor multiplies both numerator and denominator, so
+        # the normalized runtime is suite-independent in the model; the paper
+        # sees small per-suite differences from measurement noise.
+        rows.append([label] + [f"{100 * runtime / ngp_gpu:.1f}%" for _ in suites])
+    return rows, suites, (ngp_gpu, i3d_gpu, i3d_acc)
+
+
+def test_tab5_codesign_ablation(benchmark):
+    rows, suites, runtimes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Tab. 5 — normalized training runtime (Instant-NGP @ Xavier NX = 100%)",
+        ["NeRF training solution (algorithm @ hardware)"] + suites,
+        rows,
+    )
+    ngp_gpu, i3d_gpu, i3d_acc = runtimes
+    # Algorithm alone: a modest (10-30 %) reduction; paper reports ~17 %.
+    assert 0.70 < i3d_gpu / ngp_gpu < 0.90
+    # Algorithm + accelerator: an order-of-magnitude-class reduction.
+    assert i3d_acc / ngp_gpu < 0.25
+    assert i3d_acc < i3d_gpu < ngp_gpu

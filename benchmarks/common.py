@@ -1,0 +1,174 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation and prints the same rows/series the paper reports.  To keep the
+harness runnable on a laptop, the *learning* experiments (anything that needs
+a PSNR) run the real training loop at reduced scale — fewer scenes, smaller
+images, fewer iterations — while the *runtime* numbers come from the
+device/accelerator models applied to the paper-scale workload counts (see
+DESIGN.md §4).  Heavy artefacts (rendered datasets, memory traces) are cached
+per pytest session in this module.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Instant3DAccelerator,
+    baseline_devices,
+    extract_training_trace,
+)
+from repro.accelerator.trace import MemoryTrace
+from repro.core.config import Instant3DConfig
+from repro.core.model import DecoupledRadianceField
+from repro.datasets import nerf_synthetic_like, scannet_like, silvr_like
+from repro.datasets.dataset import SceneDataset
+from repro.grid.hash_encoding import HashGridConfig
+from repro.training.profiler import IterationWorkload, WorkloadScale, build_iteration_workload
+from repro.training.trainer import TrainingResult, train_scene
+from repro.utils.tables import format_table
+
+# ---------------------------------------------------------------------------
+# Reduced-scale experiment settings (kept in one place so every benchmark is
+# consistent and EXPERIMENTS.md can describe a single protocol).
+# ---------------------------------------------------------------------------
+BENCH_SCENES = ("lego", "ficus")          # subset of the 8 NeRF-Synthetic scenes
+BENCH_IMAGE_SIZE = 32
+BENCH_TRAIN_VIEWS = 8
+BENCH_TEST_VIEWS = 2
+BENCH_ITERATIONS = 120
+PAPER_ITERATIONS = 1024                   # iterations assumed for paper-scale runtime
+
+#: Reduced-scale grid used by benchmark training runs.
+BENCH_GRID = HashGridConfig(
+    n_levels=6,
+    n_features_per_level=2,
+    log2_hashmap_size=12,
+    base_resolution=8,
+    finest_resolution=96,
+)
+
+
+def bench_config(color_size_ratio: float = 1.0, color_update_freq: float = 1.0,
+                 density_size_ratio: float = 1.0,
+                 density_update_freq: float = 1.0) -> Instant3DConfig:
+    """A reduced-scale training configuration with the requested ratios.
+
+    ``density_size_ratio`` < 1 shrinks the density grid instead of the color
+    grid (the paper's 0.25:1 rows in Tables 1 and 2); the color grid keeps
+    its full size in that case.
+    """
+    if density_size_ratio == 1.0:
+        grid = BENCH_GRID
+    else:
+        grid = BENCH_GRID.scaled(density_size_ratio)
+        color_size_ratio = color_size_ratio / density_size_ratio
+    return Instant3DConfig(
+        grid=grid,
+        color_size_ratio=color_size_ratio,
+        density_update_freq=density_update_freq,
+        color_update_freq=color_update_freq,
+        mlp_hidden_width=32,
+        mlp_hidden_layers=2,
+        batch_pixels=192,
+        n_samples_per_ray=24,
+        learning_rate=1e-2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached datasets, traces and workloads.
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def synthetic_datasets() -> Tuple[SceneDataset, ...]:
+    """The reduced NeRF-Synthetic-like suite used by the learning benchmarks."""
+    return tuple(nerf_synthetic_like(BENCH_SCENES, n_train_views=BENCH_TRAIN_VIEWS,
+                                     n_test_views=BENCH_TEST_VIEWS,
+                                     image_size=BENCH_IMAGE_SIZE))
+
+
+@lru_cache(maxsize=None)
+def suite_datasets() -> Dict[str, Tuple[SceneDataset, ...]]:
+    """One representative scene per dataset suite (for Tab. 4 / Tab. 5)."""
+    return {
+        "NeRF-Synthetic": tuple(nerf_synthetic_like(["lego"], n_train_views=BENCH_TRAIN_VIEWS,
+                                                    n_test_views=BENCH_TEST_VIEWS,
+                                                    image_size=BENCH_IMAGE_SIZE)),
+        "SILVR": tuple(silvr_like(["garden"], n_train_views=BENCH_TRAIN_VIEWS,
+                                  n_test_views=BENCH_TEST_VIEWS,
+                                  image_size=BENCH_IMAGE_SIZE)),
+        "ScanNet": tuple(scannet_like(["scene0000_office"], n_train_views=BENCH_TRAIN_VIEWS,
+                                      n_test_views=BENCH_TEST_VIEWS,
+                                      image_size=BENCH_IMAGE_SIZE)),
+    }
+
+
+@lru_cache(maxsize=None)
+def bench_trace() -> MemoryTrace:
+    """A memory trace used by the accelerator benchmarks (built once)."""
+    dataset = synthetic_datasets()[0]
+    model = DecoupledRadianceField(bench_config(0.25, 0.5), seed=0)
+    return extract_training_trace(model, dataset, batch_pixels=48, samples_per_ray=16)
+
+
+@lru_cache(maxsize=None)
+def paper_workloads() -> Dict[str, IterationWorkload]:
+    """Paper-scale per-iteration workloads for the runtime/energy models."""
+    scale = WorkloadScale.paper_scale(n_iterations=PAPER_ITERATIONS)
+    gpu_baseline = Instant3DConfig.paper_scale_baseline()
+    return {
+        "instant_ngp_gpu": build_iteration_workload(gpu_baseline, scale),
+        "instant3d_gpu": build_iteration_workload(
+            gpu_baseline.with_ratios(color_size_ratio=0.25, color_update_freq=0.5), scale),
+        "instant3d_size_only": build_iteration_workload(
+            gpu_baseline.with_ratios(color_size_ratio=0.25), scale),
+        "instant3d_freq_only": build_iteration_workload(
+            gpu_baseline.with_ratios(color_update_freq=0.5), scale),
+        "instant3d_accelerator": build_iteration_workload(
+            Instant3DConfig.paper_scale_instant3d(), scale),
+    }
+
+
+@lru_cache(maxsize=None)
+def device_estimates() -> Dict[str, Dict[str, object]]:
+    """Instant-NGP baseline runtime estimates of the three Jetson devices."""
+    workload = paper_workloads()["instant_ngp_gpu"]
+    return {name: model.estimate_training(workload)
+            for name, model in baseline_devices().items()}
+
+
+@lru_cache(maxsize=None)
+def accelerator_estimate(frm: bool = True, bum: bool = True, fusion: bool = True,
+                         workload_key: str = "instant3d_accelerator"):
+    """Accelerator runtime estimate with the requested feature set."""
+    config = AcceleratorConfig(frm_enabled=frm, bum_enabled=bum, fusion_enabled=fusion)
+    accelerator = Instant3DAccelerator(config)
+    return accelerator.estimate_training(paper_workloads()[workload_key],
+                                         trace=bench_trace())
+
+
+# ---------------------------------------------------------------------------
+# Training helpers and output formatting.
+# ---------------------------------------------------------------------------
+def train_on_suite(datasets, config: Instant3DConfig,
+                   n_iterations: int = BENCH_ITERATIONS,
+                   eval_every=None) -> List[TrainingResult]:
+    """Train one model per dataset and return the per-scene results."""
+    return [train_scene(dataset, config, n_iterations=n_iterations, seed=0,
+                        eval_every=eval_every)
+            for dataset in datasets]
+
+
+def average_psnr(results: List[TrainingResult]) -> float:
+    return sum(r.rgb_psnr for r in results) / len(results)
+
+
+def print_report(title: str, headers, rows) -> None:
+    """Print a benchmark's reproduced table/series."""
+    print()
+    print("=" * 72)
+    print(format_table(headers, rows, title=title))
+    print("=" * 72)

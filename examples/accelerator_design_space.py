@@ -1,0 +1,85 @@
+"""Accelerator design-space exploration with the Instant-3D simulator.
+
+The cycle-level simulator makes it cheap to ask architectural what-if
+questions that the paper's ablations only touch on.  This example sweeps:
+
+* the number of SRAM banks per grid core (bank-level parallelism),
+* the FRM reordering window depth,
+* the BUM buffer capacity,
+* and the three feature toggles (FRM / BUM / fusion),
+
+and prints the estimated per-scene training runtime and average power for
+each point, using a real memory trace extracted from a training batch.
+
+Run with:  python examples/accelerator_design_space.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    GridCoreConfig,
+    Instant3DAccelerator,
+    extract_training_trace,
+)
+from repro.core.config import Instant3DConfig
+from repro.core.model import DecoupledRadianceField
+from repro.datasets import nerf_synthetic_like
+from repro.grid.hash_encoding import HashGridConfig
+from repro.training.profiler import WorkloadScale, build_iteration_workload
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Preparing workload and memory trace...")
+    dataset = nerf_synthetic_like(["ficus"], n_train_views=6, n_test_views=1,
+                                  image_size=28)[0]
+    grid = HashGridConfig(n_levels=6, n_features_per_level=2, log2_hashmap_size=12,
+                          base_resolution=8, finest_resolution=96)
+    model_config = Instant3DConfig.instant_3d(grid=grid, batch_pixels=192,
+                                              n_samples_per_ray=16)
+    model = DecoupledRadianceField(model_config, seed=0)
+    trace = extract_training_trace(model, dataset, batch_pixels=48, samples_per_ray=16)
+    workload = build_iteration_workload(Instant3DConfig.paper_scale_instant3d(),
+                                        WorkloadScale.paper_scale())
+
+    def estimate(config: AcceleratorConfig):
+        return Instant3DAccelerator(config).estimate_training(workload, trace=trace)
+
+    baseline = AcceleratorConfig()
+    rows = []
+
+    def add_row(label: str, config: AcceleratorConfig) -> None:
+        est = estimate(config)
+        rows.append([label, f"{est.total_s:.2f}", f"{est.per_iteration_s * 1e3:.2f}",
+                     f"{est.average_power_w:.2f}"])
+
+    add_row("published design (4 cores x 8 banks, FRM16, BUM16)", baseline)
+    for n_banks in (4, 16):
+        config = replace(baseline, grid_core=replace(baseline.grid_core, n_banks=n_banks))
+        add_row(f"{n_banks} SRAM banks per grid core", config)
+    for window in (4, 64):
+        config = replace(baseline, grid_core=replace(baseline.grid_core, frm_window=window))
+        add_row(f"FRM reordering window {window}", config)
+    for entries in (4, 64):
+        config = replace(baseline, grid_core=replace(baseline.grid_core, bum_entries=entries))
+        add_row(f"BUM buffer with {entries} entries", config)
+    add_row("without FRM", baseline.without(frm=True))
+    add_row("without BUM", baseline.without(bum=True))
+    add_row("without multi-core fusion", baseline.without(fusion=True))
+
+    print()
+    print(format_table(
+        ["Design point", "Per-scene runtime (s)", "Per-iteration (ms)", "Avg. power (W)"],
+        rows,
+        title="Instant-3D accelerator design-space sweep (paper-scale workload)",
+    ))
+    print("\nLarger bank counts and deeper FRM windows buy diminishing returns, "
+          "while removing any of the three proposed techniques costs a "
+          "multiplicative factor — the co-design conclusion of the paper.")
+
+
+if __name__ == "__main__":
+    main()

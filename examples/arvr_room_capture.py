@@ -1,0 +1,79 @@
+"""AR/VR room capture: reconstruct an indoor scan and size the on-device budget.
+
+This example mirrors the paper's motivating use case — on-device 3D
+reconstruction of the user's surroundings for virtual telepresence:
+
+1. build a ScanNet-like indoor room dataset captured from *inside* the room;
+2. train the Instant-3D algorithm on it and report reconstruction quality;
+3. estimate, with the device and accelerator models, how long the same
+   (paper-scale) capture would take to reconstruct on a Jetson-class headset
+   SoC versus on the Instant-3D accelerator, and whether it meets the < 5 s
+   "instant" target and the ~2 W AR/VR power budget.
+
+Run with:  python examples/arvr_room_capture.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instant3DConfig, train_scene
+from repro.accelerator import (
+    AcceleratorConfig,
+    Instant3DAccelerator,
+    baseline_devices,
+    extract_training_trace,
+)
+from repro.core.model import DecoupledRadianceField
+from repro.datasets import scannet_like
+from repro.grid.hash_encoding import HashGridConfig
+from repro.training.profiler import WorkloadScale, build_iteration_workload
+
+INSTANT_TARGET_S = 5.0          # the paper's definition of "instant"
+ARVR_POWER_BUDGET_W = 2.0       # headset thermal budget
+
+
+def main() -> None:
+    print("Rendering a ScanNet-like office capture...")
+    dataset = scannet_like(["scene0000_office"], n_train_views=10, n_test_views=2,
+                           image_size=32)[0]
+
+    grid = HashGridConfig(n_levels=6, n_features_per_level=2, log2_hashmap_size=12,
+                          base_resolution=8, finest_resolution=96)
+    config = Instant3DConfig.instant_3d(grid=grid, batch_pixels=256,
+                                        n_samples_per_ray=24,
+                                        mlp_hidden_width=32, mlp_hidden_layers=2)
+
+    print("Training the Instant-3D algorithm on the capture...")
+    start = time.time()
+    result = train_scene(dataset, config, n_iterations=150, seed=0)
+    print(f"  reconstruction PSNR {result.rgb_psnr:.2f} dB "
+          f"(depth {result.depth_psnr:.2f} dB) in {time.time() - start:.1f}s wall clock")
+
+    print("\nEstimating on-device reconstruction time for the paper-scale capture...")
+    gpu_workload = build_iteration_workload(Instant3DConfig.paper_scale_baseline(),
+                                            WorkloadScale.paper_scale())
+    accel_workload = build_iteration_workload(Instant3DConfig.paper_scale_instant3d(),
+                                              WorkloadScale.paper_scale())
+    model = DecoupledRadianceField(config, seed=0)
+    trace = extract_training_trace(model, dataset, batch_pixels=48, samples_per_ray=16)
+    accelerator = Instant3DAccelerator(AcceleratorConfig())
+    accel_estimate = accelerator.estimate_training(accel_workload, trace=trace)
+
+    print(f"{'Platform':34s} {'runtime':>10s} {'power':>8s} {'instant?':>9s}")
+    for name, device in baseline_devices().items():
+        estimate = device.estimate_training(gpu_workload)
+        instant = "yes" if estimate.total_s < INSTANT_TARGET_S else "no"
+        print(f"{name + ' (Instant-NGP)':34s} {estimate.total_s:9.1f}s "
+              f"{device.spec.typical_power_w:7.1f}W {instant:>9s}")
+    instant = "yes" if accel_estimate.total_s < INSTANT_TARGET_S else "no"
+    within_budget = "yes" if accel_estimate.average_power_w < ARVR_POWER_BUDGET_W else "no"
+    print(f"{'Instant-3D accelerator':34s} {accel_estimate.total_s:9.2f}s "
+          f"{accel_estimate.average_power_w:7.2f}W {instant:>9s}")
+    print(f"\nWithin the {ARVR_POWER_BUDGET_W:.1f} W AR/VR power budget: {within_budget}")
+    print("Only the co-designed accelerator approaches the instant (<5 s) target "
+          "at headset-compatible power, which is the paper's headline claim.")
+
+
+if __name__ == "__main__":
+    main()

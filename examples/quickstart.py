@@ -1,0 +1,61 @@
+"""Quickstart: train an Instant-3D radiance field on a procedural scene.
+
+This example walks through the full public API in the smallest useful
+configuration:
+
+1. build a NeRF-Synthetic-like scene dataset (posed RGB views rendered from
+   an analytic density/albedo field);
+2. configure the Instant-3D algorithm (decoupled color/density hash grids
+   with the published S_D:S_C = 1:0.25 and F_D:F_C = 1:0.5 ratios);
+3. train for a few hundred iterations and report test-view PSNR;
+4. compare against the Instant-NGP baseline configuration (1:1 / 1:1).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Instant3DConfig, train_scene
+from repro.datasets import nerf_synthetic_like
+from repro.grid.hash_encoding import HashGridConfig
+
+
+def main() -> None:
+    print("Building the 'lego' NeRF-Synthetic-like dataset...")
+    dataset = nerf_synthetic_like(
+        ["lego"], n_train_views=10, n_test_views=2, image_size=36
+    )[0]
+    print(f"  {dataset.n_train_views} training views, "
+          f"{dataset.n_test_views} test views, "
+          f"{dataset.train_views[0].rgb.shape[0]}px images")
+
+    grid = HashGridConfig(n_levels=6, n_features_per_level=2, log2_hashmap_size=12,
+                          base_resolution=8, finest_resolution=96)
+    common = dict(grid=grid, batch_pixels=256, n_samples_per_ray=24,
+                  mlp_hidden_width=32, mlp_hidden_layers=2)
+
+    configs = {
+        "Instant-NGP baseline (1:1, 1:1)": Instant3DConfig.instant_ngp_baseline(**common),
+        "Instant-3D (1:0.25, 1:0.5)": Instant3DConfig.instant_3d(**common),
+    }
+
+    for name, config in configs.items():
+        print(f"\nTraining {name} ...")
+        start = time.time()
+        result = train_scene(dataset, config, n_iterations=150, seed=0)
+        elapsed = time.time() - start
+        print(f"  wall-clock {elapsed:.1f}s | "
+              f"test RGB PSNR {result.rgb_psnr:.2f} dB | "
+              f"depth PSNR {result.depth_psnr:.2f} dB | "
+              f"density updates {result.density_updates}, "
+              f"color updates {result.color_updates}")
+
+    print("\nThe Instant-3D configuration reaches comparable quality while "
+          "updating the color grid half as often and storing it at a quarter "
+          "of the size — the redundancy the accelerator then exploits.")
+
+
+if __name__ == "__main__":
+    main()

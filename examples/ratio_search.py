@@ -1,0 +1,76 @@
+"""Reproduce the decomposition-ratio grid search of Sec. 5.1.
+
+The paper selects S_D:S_C = 1:0.25 and F_D:F_C = 1:0.5 by grid-searching the
+candidate ratios and keeping the most compressive configuration that still
+matches the Instant-NGP baseline's PSNR.  This example runs that search at
+reduced scale: PSNR is measured by actually training each candidate on a
+small scene, runtime is estimated with the Xavier NX device model on the
+paper-scale workload.
+
+Run with:  python examples/ratio_search.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.devices import XAVIER_NX, EdgeGPUModel
+from repro.core.config import Instant3DConfig
+from repro.core.search import grid_ratio_search
+from repro.datasets import nerf_synthetic_like
+from repro.grid.hash_encoding import HashGridConfig
+from repro.training.profiler import WorkloadScale, build_iteration_workload
+from repro.training.trainer import train_scene
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Building the search dataset (mic scene)...")
+    dataset = nerf_synthetic_like(["mic"], n_train_views=8, n_test_views=2,
+                                  image_size=28)[0]
+    grid = HashGridConfig(n_levels=6, n_features_per_level=2, log2_hashmap_size=12,
+                          base_resolution=8, finest_resolution=96)
+    base = Instant3DConfig.instant_ngp_baseline(grid=grid, batch_pixels=192,
+                                                n_samples_per_ray=20,
+                                                mlp_hidden_width=32, mlp_hidden_layers=2)
+    xavier = EdgeGPUModel(XAVIER_NX)
+
+    def evaluate_psnr(config: Instant3DConfig) -> float:
+        result = train_scene(dataset, config, n_iterations=100, seed=0)
+        return result.rgb_psnr
+
+    def evaluate_runtime(config: Instant3DConfig) -> float:
+        paper_config = Instant3DConfig.paper_scale_baseline().with_ratios(
+            color_size_ratio=config.color_size_ratio,
+            color_update_freq=config.color_update_freq,
+            density_update_freq=config.density_update_freq,
+        )
+        workload = build_iteration_workload(paper_config, WorkloadScale.paper_scale())
+        return xavier.estimate_training(workload).total_s
+
+    print("Running the grid search over S_C/S_D x F_C/F_D "
+          "(this trains one small model per candidate)...")
+    result = grid_ratio_search(
+        base, evaluate_psnr, evaluate_runtime,
+        size_ratios=(0.25, 0.5, 1.0), update_ratios=(0.5, 1.0),
+        psnr_tolerance=0.5,
+    )
+
+    rows = [
+        [config.size_ratio_label, config.freq_ratio_label,
+         f"{psnr:.2f}", f"{runtime:.1f}",
+         "<-- selected" if config is result.selected else ""]
+        for config, psnr, runtime in result.candidates
+    ]
+    print()
+    print(format_table(
+        ["S_D:S_C", "F_D:F_C", "Measured PSNR (dB)", "Modelled Xavier runtime (s)", ""],
+        rows,
+        title="Decomposition-ratio grid search (Sec. 5.1)",
+    ))
+    print(f"\nBaseline PSNR {result.baseline_psnr:.2f} dB; selected configuration "
+          f"S_D:S_C = {result.selected.size_ratio_label}, "
+          f"F_D:F_C = {result.selected.freq_ratio_label} "
+          f"at {result.selected_runtime:.1f}s modelled runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Analyses behind the paper's motivating figures.
+
+* :mod:`repro.analysis.access_patterns` — clustering of the eight neighbour
+  vertex addresses into four groups, intra/inter-group address distances
+  (Figs. 8-9), and the sliding-window unique-address statistic (Fig. 10).
+* :mod:`repro.analysis.breakdown` — per-step runtime breakdowns of a device
+  estimate (Figs. 4 and 7).
+* :mod:`repro.analysis.sensitivity` — the color-vs-density learning-pace
+  study (Fig. 5).
+"""
+
+from repro.analysis.access_patterns import (
+    AddressGroupStats,
+    SlidingWindowStats,
+    address_group_stats,
+    forward_backward_window_comparison,
+    group_vertex_addresses,
+    intra_group_distances,
+    inter_group_distances,
+    intra_group_within_threshold,
+    sliding_window_unique_addresses,
+)
+from repro.analysis.breakdown import RuntimeBreakdown, runtime_breakdown
+from repro.analysis.sensitivity import LearningPaceResult, learning_pace_study
+
+__all__ = [
+    "AddressGroupStats",
+    "SlidingWindowStats",
+    "address_group_stats",
+    "forward_backward_window_comparison",
+    "group_vertex_addresses",
+    "intra_group_distances",
+    "inter_group_distances",
+    "intra_group_within_threshold",
+    "sliding_window_unique_addresses",
+    "RuntimeBreakdown",
+    "runtime_breakdown",
+    "LearningPaceResult",
+    "learning_pace_study",
+]

@@ -1,0 +1,63 @@
+"""Runtime-breakdown analysis (Figs. 4 and 7).
+
+Turns a device-model step-time estimate into the category shares the paper
+plots: the embedding-grid interpolation step (❸-①) plus its back-propagation,
+the MLP step (❸-②) plus its back-propagation, and everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accelerator.devices import DeviceRuntimeEstimate
+from repro.training.profiler import PipelineStep
+
+#: Display categories used by the paper's breakdown figures.
+CATEGORY_GRID = "grid interpolation (step 3-1) + backprop"
+CATEGORY_MLP = "MLP (step 3-2) + backprop"
+CATEGORY_OTHER = "other pipeline steps"
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Per-category share of one device's per-iteration runtime."""
+
+    device: str
+    total_per_iteration_s: float
+    category_seconds: Dict[str, float]
+
+    def fraction(self, category: str) -> float:
+        if self.total_per_iteration_s <= 0:
+            return 0.0
+        return self.category_seconds.get(category, 0.0) / self.total_per_iteration_s
+
+    @property
+    def grid_fraction(self) -> float:
+        """Share of runtime spent in the paper's bottleneck step."""
+        return self.fraction(CATEGORY_GRID)
+
+
+def _categorise(step_label: str) -> str:
+    step = step_label.split("[")[0]
+    if step in PipelineStep.GRID_STEPS:
+        return CATEGORY_GRID
+    if step in (PipelineStep.MLP_FORWARD, PipelineStep.MLP_BACKWARD):
+        return CATEGORY_MLP
+    return CATEGORY_OTHER
+
+
+def runtime_breakdown(estimate: DeviceRuntimeEstimate) -> RuntimeBreakdown:
+    """Aggregate a device estimate's step times into the paper's categories."""
+    categories: Dict[str, float] = {
+        CATEGORY_GRID: 0.0,
+        CATEGORY_MLP: 0.0,
+        CATEGORY_OTHER: 0.0,
+    }
+    for label, seconds in estimate.step_seconds.items():
+        categories[_categorise(label)] += seconds
+    return RuntimeBreakdown(
+        device=estimate.device,
+        total_per_iteration_s=estimate.per_iteration_s,
+        category_seconds=categories,
+    )

@@ -1,0 +1,197 @@
+"""Configuration of the Instant-3D model and training run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.grid.hash_encoding import HashGridConfig
+
+
+@dataclass(frozen=True)
+class Instant3DConfig:
+    """Hyper-parameters of an Instant-3D (or Instant-NGP-baseline) model.
+
+    The two knobs the paper introduces are ``color_size_ratio``
+    (``S_C / S_D``) and ``color_update_ratio`` (``F_C / F_D``); the density
+    branch always uses the full grid size and updates every iteration, per
+    the paper's design rule ``S_D > S_C`` and ``F_D > F_C``.
+
+    Attributes
+    ----------
+    grid:
+        Base hash-grid configuration shared by both branches; the color
+        branch applies ``color_size_ratio`` on top of it.
+    color_size_ratio:
+        ``S_C : S_D`` expressed as a fraction.  1.0 reproduces the
+        Instant-NGP baseline, 0.25 is the published Instant-3D setting.
+        Values above 1 express the reversed ablation rows of Tab. 1/2 (a
+        color grid larger than the density grid); the effective per-branch
+        table budget is always capped at the base grid's full size.
+    density_update_freq / color_update_freq:
+        ``F_D`` and ``F_C`` as fractions of training iterations in which the
+        corresponding grid receives a gradient update.  1.0 means every
+        iteration, 0.5 every other iteration.
+    mlp_hidden_width / mlp_hidden_layers:
+        Size of the small density and color MLP heads (Instant-NGP uses
+        3 layers of 64 units; the defaults are a scaled-down equivalent).
+    sh_degree:
+        Spherical-harmonics degree for the view-direction encoding.
+    n_samples_per_ray / batch_pixels:
+        Per-iteration workload of the training loop.
+    learning_rate:
+        Adam learning rate shared by grids and MLPs.
+    """
+
+    grid: HashGridConfig = field(default_factory=HashGridConfig)
+    color_size_ratio: float = 1.0
+    density_update_freq: float = 1.0
+    color_update_freq: float = 1.0
+    mlp_hidden_width: int = 32
+    mlp_hidden_layers: int = 2
+    geo_feature_dim: int = 0
+    sh_degree: int = 3
+    n_samples_per_ray: int = 32
+    batch_pixels: int = 256
+    learning_rate: float = 1e-2
+    white_background: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.color_size_ratio <= 8.0):
+            raise ValueError("color_size_ratio must be in (0, 8]")
+        for freq in (self.density_update_freq, self.color_update_freq):
+            if not (0.0 < freq <= 1.0):
+                raise ValueError("update frequencies must be in (0, 1]")
+        if self.mlp_hidden_width < 1 or self.mlp_hidden_layers < 1:
+            raise ValueError("MLP heads need at least one hidden layer/unit")
+        if self.n_samples_per_ray < 1 or self.batch_pixels < 1:
+            raise ValueError("workload sizes must be positive")
+
+    # -- named configurations ---------------------------------------------------
+    @staticmethod
+    def instant_ngp_baseline(**overrides) -> "Instant3DConfig":
+        """The Instant-NGP baseline: equal grid sizes and update frequencies."""
+        return Instant3DConfig(
+            color_size_ratio=1.0,
+            density_update_freq=1.0,
+            color_update_freq=1.0,
+            **overrides,
+        )
+
+    @staticmethod
+    def instant_3d(**overrides) -> "Instant3DConfig":
+        """The published Instant-3D setting: S_D:S_C = 1:0.25, F_D:F_C = 1:0.5."""
+        return Instant3DConfig(
+            color_size_ratio=0.25,
+            density_update_freq=1.0,
+            color_update_freq=0.5,
+            **overrides,
+        )
+
+    @staticmethod
+    def paper_scale_baseline(n_levels: int = 16, **overrides) -> "Instant3DConfig":
+        """The full-scale Instant-NGP training workload the paper profiles.
+
+        This configuration is used only for *workload accounting* (grid
+        accesses, bytes and FLOPs per iteration on the Jetson baselines); the
+        Python optimisation itself runs the reduced-scale defaults.
+        """
+        grid = HashGridConfig(
+            n_levels=n_levels,
+            n_features_per_level=2,
+            log2_hashmap_size=19,
+            base_resolution=16,
+            finest_resolution=2048,
+        )
+        return Instant3DConfig(
+            grid=grid,
+            color_size_ratio=1.0,
+            density_update_freq=1.0,
+            color_update_freq=1.0,
+            mlp_hidden_width=64,
+            mlp_hidden_layers=2,
+            sh_degree=3,
+            n_samples_per_ray=48,
+            batch_pixels=4096,
+            **overrides,
+        )
+
+    @staticmethod
+    def paper_scale_instant3d(**overrides) -> "Instant3DConfig":
+        """Full-scale Instant-3D algorithm workload as deployed on the accelerator.
+
+        The hash-table budget matches the published accelerator design: the
+        density grid occupies ~1 MB (Level-2 fusion) and the color grid, at
+        ``S_C = 0.25 S_D``, ~256 KB (Level-0 standalone mode).
+        """
+        grid = HashGridConfig(
+            n_levels=16,
+            n_features_per_level=2,
+            log2_hashmap_size=15,
+            base_resolution=16,
+            finest_resolution=1024,
+        )
+        return Instant3DConfig(
+            grid=grid,
+            color_size_ratio=0.25,
+            density_update_freq=1.0,
+            color_update_freq=0.5,
+            mlp_hidden_width=64,
+            mlp_hidden_layers=2,
+            sh_degree=3,
+            n_samples_per_ray=48,
+            batch_pixels=4096,
+            **overrides,
+        )
+
+    def with_ratios(self, color_size_ratio: float = None,
+                    color_update_freq: float = None,
+                    density_update_freq: float = None) -> "Instant3DConfig":
+        """Copy this config with different decomposition ratios."""
+        kwargs = {}
+        if color_size_ratio is not None:
+            kwargs["color_size_ratio"] = color_size_ratio
+        if color_update_freq is not None:
+            kwargs["color_update_freq"] = color_update_freq
+        if density_update_freq is not None:
+            kwargs["density_update_freq"] = density_update_freq
+        return replace(self, **kwargs)
+
+    # -- derived grid configs ------------------------------------------------------
+    @property
+    def density_grid_config(self) -> HashGridConfig:
+        """Hash-grid config of the density branch (full size)."""
+        return self.grid
+
+    @property
+    def color_grid_config(self) -> HashGridConfig:
+        """Hash-grid config of the color branch (scaled by ``S_C / S_D``)."""
+        return self.grid.scaled(min(1.0, self.grid.size_scale * self.color_size_ratio))
+
+    @property
+    def size_ratio_label(self) -> str:
+        """Human-readable ``S_D : S_C`` label (e.g. ``"1:0.25"``)."""
+        return f"1:{self.color_size_ratio:g}"
+
+    @property
+    def freq_ratio_label(self) -> str:
+        """Human-readable ``F_D : F_C`` label (e.g. ``"1:0.5"``)."""
+        return f"{self.density_update_freq:g}:{self.color_update_freq:g}"
+
+    @property
+    def points_per_iteration(self) -> int:
+        """Number of grid/MLP point queries per training iteration."""
+        return self.batch_pixels * self.n_samples_per_ray
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when this config is equivalent to the Instant-NGP baseline."""
+        return (
+            self.color_size_ratio == 1.0
+            and self.density_update_freq == 1.0
+            and self.color_update_freq == 1.0
+        )
+
+    def ratio_tuple(self) -> Tuple[float, float, float]:
+        """(S_C/S_D, F_D, F_C) — convenient for sweeps and tables."""
+        return (self.color_size_ratio, self.density_update_freq, self.color_update_freq)

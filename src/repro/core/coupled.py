@@ -1,0 +1,132 @@
+"""The coupled Instant-NGP reference model.
+
+The paper's Tables 1/2 treat the "1:1 / 1:1" configuration of the decoupled
+model as the Instant-NGP baseline, because once sizes and update frequencies
+are equal the decomposition changes nothing about the training cost structure.
+For completeness (and to validate that equivalence empirically), this module
+implements the *architecturally* coupled Instant-NGP model: a single hash
+grid whose interpolated embedding feeds a density MLP, whose hidden geometry
+features — not a second grid — feed the color MLP together with the encoded
+view direction.
+
+:class:`CoupledInstantNGP` exposes the same ``query`` / ``backward`` /
+``parameters`` interface as :class:`repro.core.model.DecoupledRadianceField`,
+so it can be dropped into the trainer for side-by-side comparisons (see
+``tests/test_coupled.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import Instant3DConfig
+from repro.grid.hash_encoding import MultiResHashGrid
+from repro.nerf.encoding import spherical_harmonics_dim, spherical_harmonics_encoding
+from repro.nn.activations import Sigmoid, TruncatedExp
+from repro.nn.mlp import MLP
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import derive_rng
+
+
+class CoupledInstantNGP:
+    """Single-grid Instant-NGP radiance field (the architecture the paper starts from)."""
+
+    def __init__(self, config: Instant3DConfig, seed: int = 0,
+                 geo_feature_dim: int = 15):
+        if geo_feature_dim < 1:
+            raise ValueError("geo_feature_dim must be >= 1")
+        self.config = config
+        self.geo_feature_dim = int(geo_feature_dim)
+        self.grid = MultiResHashGrid(
+            config.density_grid_config,
+            rng=derive_rng(seed, "coupled_grid"),
+            name="coupled_grid",
+        )
+        mlp_rng = derive_rng(seed, "coupled_mlps")
+        hidden = [config.mlp_hidden_width] * config.mlp_hidden_layers
+        self.density_mlp = MLP(
+            in_features=self.grid.n_output_features,
+            hidden_features=hidden,
+            out_features=1 + self.geo_feature_dim,
+            rng=mlp_rng,
+            name="coupled_density_mlp",
+        )
+        self._sh_dim = spherical_harmonics_dim(config.sh_degree)
+        self.color_mlp = MLP(
+            in_features=self.geo_feature_dim + self._sh_dim,
+            hidden_features=hidden,
+            out_features=3,
+            rng=mlp_rng,
+            name="coupled_color_mlp",
+        )
+        self.density_activation = TruncatedExp()
+        self.color_activation = Sigmoid()
+        self._n_points: Optional[int] = None
+
+    # -- forward ----------------------------------------------------------------------
+    def query(self, points_unit: np.ndarray, dirs: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate ``(sigma, rgb)``; the color head consumes the density head's features."""
+        points_unit = np.asarray(points_unit, dtype=np.float64)
+        dirs = np.asarray(dirs, dtype=np.float64)
+        if points_unit.shape != dirs.shape or points_unit.shape[-1] != 3:
+            raise ValueError("points_unit and dirs must both have shape (N, 3)")
+        embedding = self.grid.forward(points_unit)
+        trunk_out = self.density_mlp.forward(embedding)
+        raw_sigma = trunk_out[:, :1]
+        geo_features = trunk_out[:, 1:]
+        sigma = self.density_activation.forward(raw_sigma)[:, 0]
+        dir_enc = spherical_harmonics_encoding(dirs, degree=self.config.sh_degree)
+        raw_rgb = self.color_mlp.forward(np.concatenate([geo_features, dir_enc], axis=1))
+        rgb = self.color_activation.forward(raw_rgb)
+        self._n_points = points_unit.shape[0]
+        return sigma, rgb
+
+    # -- backward ----------------------------------------------------------------------
+    def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray,
+                 update_density: bool = True, update_color: bool = True) -> None:
+        """Back-propagate output gradients into the shared grid and both MLPs.
+
+        Because the branches share the grid and the density trunk, the two
+        update flags cannot decouple the work the way the Instant-3D model
+        can: disabling either one only zeroes that head's contribution, which
+        is exactly the limitation the paper's decomposition removes.
+        """
+        if self._n_points is None:
+            raise RuntimeError("backward called before query")
+        grad_trunk = np.zeros((self._n_points, 1 + self.geo_feature_dim), dtype=np.float32)
+        if update_color:
+            grad_raw_rgb = self.color_activation.backward(
+                np.asarray(grad_rgb, dtype=np.float32))
+            grad_color_in = self.color_mlp.backward(grad_raw_rgb)
+            grad_trunk[:, 1:] = grad_color_in[:, : self.geo_feature_dim]
+        if update_density:
+            grad_trunk[:, :1] = self.density_activation.backward(
+                np.asarray(grad_sigma, dtype=np.float32)[:, None])
+        grad_embedding = self.density_mlp.backward(grad_trunk)
+        self.grid.backward(grad_embedding.astype(np.float64))
+
+    # -- bookkeeping -----------------------------------------------------------------------
+    def density_parameters(self) -> List[Parameter]:
+        """Parameters touched by density supervision (shared grid + trunk)."""
+        return self.grid.parameters() + self.density_mlp.parameters()
+
+    def color_parameters(self) -> List[Parameter]:
+        return self.color_mlp.parameters()
+
+    def parameters(self) -> List[Parameter]:
+        return self.density_parameters() + self.color_parameters()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def grid_accesses_per_point(self) -> int:
+        """Hash-table vertex reads per point (one shared grid)."""
+        return self.grid.accesses_per_point()
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())

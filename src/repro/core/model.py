@@ -1,0 +1,156 @@
+"""The Instant-3D radiance-field model (decoupled density and color branches).
+
+The model realises Fig. 6 of the paper:
+
+* density branch — density hash grid (size ``S_D``) → small MLP → truncated
+  exponential → volumetric density ``sigma``;
+* color branch — color hash grid (size ``S_C``) concatenated with a
+  spherical-harmonics encoding of the view direction → small MLP → sigmoid →
+  RGB color.
+
+With ``color_size_ratio = 1`` and both update frequencies at 1 the model is
+the Instant-NGP baseline configuration that the paper's Tables 1/2 label
+"1:1 [24]".  ``backward`` takes per-branch update flags so the trainer can
+realise the ``F_D : F_C`` update-frequency schedule by skipping the color
+branch's back-propagation on non-update iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import Instant3DConfig
+from repro.core.decoupled_grid import DecoupledGridEncoder
+from repro.nerf.encoding import spherical_harmonics_dim, spherical_harmonics_encoding
+from repro.nn.activations import Sigmoid, TruncatedExp
+from repro.nn.mlp import MLP
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import derive_rng
+
+
+@dataclass
+class QueryCache:
+    """Bookkeeping of one :meth:`DecoupledRadianceField.query` call."""
+
+    n_points: int
+    density_embedding_dim: int
+    color_embedding_dim: int
+
+
+class DecoupledRadianceField:
+    """Queryable/trainable radiance field with decoupled color/density branches."""
+
+    def __init__(self, config: Instant3DConfig, seed: int = 0):
+        self.config = config
+        self.encoder = DecoupledGridEncoder(config, seed=seed)
+        mlp_rng = derive_rng(seed, "mlp_heads")
+        hidden = [config.mlp_hidden_width] * config.mlp_hidden_layers
+        self.density_mlp = MLP(
+            in_features=self.encoder.density_grid.n_output_features,
+            hidden_features=hidden,
+            out_features=1,
+            rng=mlp_rng,
+            name="density_mlp",
+        )
+        self._sh_dim = spherical_harmonics_dim(config.sh_degree)
+        self.color_mlp = MLP(
+            in_features=self.encoder.color_grid.n_output_features + self._sh_dim,
+            hidden_features=hidden,
+            out_features=3,
+            rng=mlp_rng,
+            name="color_mlp",
+        )
+        self.density_activation = TruncatedExp()
+        self.color_activation = Sigmoid()
+        self._last_cache: Optional[QueryCache] = None
+
+    # -- forward ------------------------------------------------------------------
+    def query(self, points_unit: np.ndarray, dirs: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate ``(sigma, rgb)`` for points in ``[0, 1]^3`` and unit directions.
+
+        This is Step ❸ of the training pipeline: Step ❸-① is the two grid
+        interpolations, Step ❸-② the two small MLPs.
+        """
+        points_unit = np.asarray(points_unit, dtype=np.float64)
+        dirs = np.asarray(dirs, dtype=np.float64)
+        if points_unit.shape != dirs.shape or points_unit.shape[-1] != 3:
+            raise ValueError("points_unit and dirs must both have shape (N, 3)")
+
+        density_emb = self.encoder.encode_density(points_unit)
+        raw_sigma = self.density_mlp.forward(density_emb)
+        sigma = self.density_activation.forward(raw_sigma)[:, 0]
+
+        color_emb = self.encoder.encode_color(points_unit)
+        dir_enc = spherical_harmonics_encoding(dirs, degree=self.config.sh_degree)
+        raw_rgb = self.color_mlp.forward(np.concatenate([color_emb, dir_enc], axis=1))
+        rgb = self.color_activation.forward(raw_rgb)
+
+        self._last_cache = QueryCache(
+            n_points=points_unit.shape[0],
+            density_embedding_dim=density_emb.shape[1],
+            color_embedding_dim=color_emb.shape[1],
+        )
+        return sigma, rgb
+
+    # -- backward -----------------------------------------------------------------
+    def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray,
+                 update_density: bool = True, update_color: bool = True) -> None:
+        """Back-propagate per-point output gradients into the branch parameters.
+
+        ``update_density`` / ``update_color`` implement the paper's
+        update-frequency decomposition: a branch whose flag is False skips its
+        entire back-propagation (MLP and embedding grid), which is exactly the
+        work the accelerator skips on non-update iterations.
+        """
+        if self._last_cache is None:
+            raise RuntimeError("backward called before query")
+        if update_color:
+            grad_raw_rgb = self.color_activation.backward(
+                np.asarray(grad_rgb, dtype=np.float32)
+            )
+            grad_color_in = self.color_mlp.backward(grad_raw_rgb)
+            grad_color_emb = grad_color_in[:, : self._last_cache.color_embedding_dim]
+            self.encoder.backward_color(grad_color_emb)
+        if update_density:
+            grad_raw_sigma = self.density_activation.backward(
+                np.asarray(grad_sigma, dtype=np.float32)[:, None]
+            )
+            grad_density_emb = self.density_mlp.backward(grad_raw_sigma)
+            self.encoder.backward_density(grad_density_emb)
+
+    # -- parameters ---------------------------------------------------------------
+    def density_parameters(self) -> List[Parameter]:
+        """Parameters updated on density-branch update iterations."""
+        return self.encoder.density_parameters() + self.density_mlp.parameters()
+
+    def color_parameters(self) -> List[Parameter]:
+        """Parameters updated on color-branch update iterations."""
+        return self.encoder.color_parameters() + self.color_mlp.parameters()
+
+    def parameters(self) -> List[Parameter]:
+        return self.density_parameters() + self.color_parameters()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- workload accounting ---------------------------------------------------------
+    def mlp_flops_per_point(self) -> int:
+        """Forward FLOPs of the two MLP heads for a single point query."""
+        return self.density_mlp.flops_per_sample + self.color_mlp.flops_per_sample
+
+    def grid_accesses_per_point(self) -> Dict[str, int]:
+        """Hash-table vertex reads per point query, per branch."""
+        return self.encoder.accesses_per_point()
+
+    def branch_storage_bytes(self) -> Dict[str, int]:
+        """Hash-table storage per branch (selects the accelerator fusion mode)."""
+        return self.encoder.branch_storage_bytes()
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())

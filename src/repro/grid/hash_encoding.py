@@ -1,0 +1,331 @@
+"""Multiresolution hash-grid embedding (Instant-NGP's "3D embedding grid").
+
+A :class:`MultiResHashGrid` is a stack of :class:`HashGridLevel` objects of
+geometrically increasing resolution.  Each level stores ``F`` features per
+vertex in a 1-D table (dense for coarse levels, hashed for fine levels).
+Querying a batch of 3-D points returns the concatenation of every level's
+trilinearly interpolated features — exactly Step ❸-① of the paper's training
+pipeline — and records the table addresses that were touched so that the
+accelerator simulator and the access-pattern analyses (Figs. 8-10) can replay
+them.
+
+The Instant-3D algorithm instantiates two of these grids (a density grid and
+a color grid) with different ``size_scale`` factors; see
+:mod:`repro.core.decoupled_grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.grid.hash_function import dense_index, spatial_hash
+from repro.grid.interpolation import (
+    CORNER_OFFSETS,
+    interpolate,
+    interpolate_backward,
+    trilinear_weights,
+)
+from repro.nn.parameter import Parameter
+
+#: Bytes per stored feature (FP16 in the accelerator and in Instant-NGP).
+FEATURE_BYTES = 2
+
+
+@dataclass(frozen=True)
+class HashGridConfig:
+    """Configuration of a multiresolution hash grid.
+
+    Attributes
+    ----------
+    n_levels:
+        Number of resolution levels ``L``.
+    n_features_per_level:
+        Features stored per vertex ``F`` (Instant-NGP default: 2).
+    log2_hashmap_size:
+        Log2 of the per-level hash-table entry count ``T`` before
+        ``size_scale`` is applied.
+    base_resolution:
+        Resolution of the coarsest level.
+    finest_resolution:
+        Resolution of the finest level; the per-level growth factor is
+        derived from this (Instant-NGP's ``b``).
+    size_scale:
+        Multiplier on the hash-table entry count, used to realise the
+        paper's grid-size ratios ``S_D : S_C`` (e.g. 0.25 for the color
+        grid when ``S_D : S_C = 1 : 0.25``).
+    """
+
+    n_levels: int = 8
+    n_features_per_level: int = 2
+    log2_hashmap_size: int = 14
+    base_resolution: int = 16
+    finest_resolution: int = 256
+    size_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 1:
+            raise ValueError("n_levels must be >= 1")
+        if self.n_features_per_level < 1:
+            raise ValueError("n_features_per_level must be >= 1")
+        if not (0.0 < self.size_scale <= 1.0):
+            raise ValueError("size_scale must be in (0, 1]")
+        if self.base_resolution < 2:
+            raise ValueError("base_resolution must be >= 2")
+        if self.finest_resolution < self.base_resolution:
+            raise ValueError("finest_resolution must be >= base_resolution")
+
+    @property
+    def per_level_scale(self) -> float:
+        """Geometric growth factor ``b`` between consecutive levels."""
+        if self.n_levels == 1:
+            return 1.0
+        return float(
+            np.exp(
+                (np.log(self.finest_resolution) - np.log(self.base_resolution))
+                / (self.n_levels - 1)
+            )
+        )
+
+    @property
+    def max_table_entries(self) -> int:
+        """Per-level table entry budget after applying ``size_scale``."""
+        return max(16, int(round((2 ** self.log2_hashmap_size) * self.size_scale)))
+
+    @property
+    def n_output_features(self) -> int:
+        """Dimensionality of the concatenated embedding (``L * F``)."""
+        return self.n_levels * self.n_features_per_level
+
+    def level_resolution(self, level: int) -> int:
+        """Grid resolution of ``level`` (0 = coarsest)."""
+        return int(np.floor(self.base_resolution * self.per_level_scale ** level))
+
+    def scaled(self, size_scale: float) -> "HashGridConfig":
+        """Return a copy of this config with a different ``size_scale``."""
+        return HashGridConfig(
+            n_levels=self.n_levels,
+            n_features_per_level=self.n_features_per_level,
+            log2_hashmap_size=self.log2_hashmap_size,
+            base_resolution=self.base_resolution,
+            finest_resolution=self.finest_resolution,
+            size_scale=size_scale,
+        )
+
+
+@dataclass
+class GridAccessRecord:
+    """Addresses and weights touched by one grid query (one batch of points).
+
+    ``addresses`` and ``weights`` are lists with one ``(N, 8)`` array per
+    level; ``level_offsets`` gives each level's base offset inside the
+    concatenated 1-D storage so traces can use globally unique addresses.
+    """
+
+    addresses: List[np.ndarray] = field(default_factory=list)
+    weights: List[np.ndarray] = field(default_factory=list)
+    level_offsets: List[int] = field(default_factory=list)
+    table_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def n_points(self) -> int:
+        return 0 if not self.addresses else int(self.addresses[0].shape[0])
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.addresses)
+
+    def flat_addresses(self, level: Optional[int] = None) -> np.ndarray:
+        """Global (level-offset) addresses, flattened in access order.
+
+        Access order is point-major within a level: for each point its eight
+        corner reads are issued consecutively, matching the grid-core
+        pipeline of the accelerator.
+        """
+        if level is not None:
+            return (self.addresses[level] + self.level_offsets[level]).reshape(-1)
+        parts = [
+            (addr + offset).reshape(-1)
+            for addr, offset in zip(self.addresses, self.level_offsets)
+        ]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def total_accesses(self) -> int:
+        """Total number of individual vertex-embedding reads."""
+        return int(sum(a.size for a in self.addresses))
+
+
+class HashGridLevel:
+    """A single resolution level of the multiresolution hash grid."""
+
+    def __init__(self, resolution: int, max_entries: int, n_features: int,
+                 rng: np.random.Generator, name: str = "level"):
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.resolution = int(resolution)
+        self.n_features = int(n_features)
+        n_vertices = (self.resolution + 1) ** 3
+        # Coarse levels that fit in the table are stored densely
+        # (collision-free); finer levels fall back to the spatial hash.
+        self.is_dense = n_vertices <= max_entries
+        self.table_size = n_vertices if self.is_dense else int(max_entries)
+        init = rng.uniform(-1e-4, 1e-4, size=(self.table_size, self.n_features))
+        self.table = Parameter(init, name=f"{name}.table")
+
+    # -- indexing -----------------------------------------------------------
+    def vertex_addresses(self, vertex_coords: np.ndarray) -> np.ndarray:
+        """Map integer vertex coordinates of shape (..., 3) to table indices."""
+        if self.is_dense:
+            return dense_index(vertex_coords, self.resolution)
+        return spatial_hash(vertex_coords, self.table_size)
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, points: np.ndarray):
+        """Interpolate embeddings for ``points`` in ``[0, 1]^3``.
+
+        Returns ``(embeddings, addresses, weights)`` where ``embeddings`` is
+        ``(N, F)`` and the other two are ``(N, 8)`` caches reused by
+        :meth:`backward` and exported for access tracing.
+        """
+        points = np.clip(np.asarray(points, dtype=np.float64), 0.0, 1.0)
+        scaled = points * self.resolution
+        base = np.floor(scaled).astype(np.int64)
+        base = np.minimum(base, self.resolution - 1)
+        frac = scaled - base
+        corners = base[:, None, :] + CORNER_OFFSETS[None, :, :]   # (N, 8, 3)
+        addresses = self.vertex_addresses(corners)                # (N, 8)
+        weights = trilinear_weights(frac)                         # (N, 8)
+        corner_values = self.table.data[addresses]                # (N, 8, F)
+        embeddings = interpolate(corner_values, weights)
+        return embeddings.astype(np.float32), addresses, weights
+
+    def backward(self, grad_embeddings: np.ndarray, addresses: np.ndarray,
+                 weights: np.ndarray) -> None:
+        """Scatter-add the embedding gradient into the table gradient."""
+        corner_grads = interpolate_backward(grad_embeddings, weights)  # (N, 8, F)
+        flat_addr = addresses.reshape(-1)
+        flat_grads = corner_grads.reshape(-1, self.n_features)
+        grad_table = np.zeros_like(self.table.grad, dtype=np.float64)
+        np.add.at(grad_table, flat_addr, flat_grads)
+        self.table.accumulate_grad(grad_table.astype(np.float32))
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of FP16 storage this level occupies in the hash table."""
+        return self.table_size * self.n_features * FEATURE_BYTES
+
+    def parameters(self) -> List[Parameter]:
+        return [self.table]
+
+
+class MultiResHashGrid:
+    """Multiresolution hash-grid encoder with access tracing.
+
+    Parameters
+    ----------
+    config:
+        Grid hyper-parameters.
+    rng:
+        Generator used to initialise the embedding tables.
+    name:
+        Prefix for parameter names (useful when two grids coexist, e.g. the
+        Instant-3D density and color grids).
+    """
+
+    def __init__(self, config: HashGridConfig, rng: np.random.Generator,
+                 name: str = "grid"):
+        self.config = config
+        self.name = name
+        self.levels: List[HashGridLevel] = []
+        for level_idx in range(config.n_levels):
+            self.levels.append(
+                HashGridLevel(
+                    resolution=config.level_resolution(level_idx),
+                    max_entries=config.max_table_entries,
+                    n_features=config.n_features_per_level,
+                    rng=rng,
+                    name=f"{name}.level{level_idx}",
+                )
+            )
+        self._last_access: Optional[GridAccessRecord] = None
+        self._last_points: Optional[np.ndarray] = None
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, points: np.ndarray) -> np.ndarray:
+        """Encode ``(N, 3)`` points in ``[0, 1]^3`` into ``(N, L*F)`` features."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"points must have shape (N, 3), got {points.shape}")
+        record = GridAccessRecord()
+        outputs = []
+        offset = 0
+        for level in self.levels:
+            emb, addresses, weights = level.forward(points)
+            outputs.append(emb)
+            record.addresses.append(addresses)
+            record.weights.append(weights)
+            record.level_offsets.append(offset)
+            record.table_sizes.append(level.table_size)
+            offset += level.table_size
+        self._last_access = record
+        self._last_points = points
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, grad_embeddings: np.ndarray) -> None:
+        """Back-propagate the concatenated embedding gradient into the tables.
+
+        Must be called after :meth:`forward`; uses the cached addresses and
+        weights from the most recent query.
+        """
+        if self._last_access is None:
+            raise RuntimeError("backward called before forward")
+        grad_embeddings = np.asarray(grad_embeddings, dtype=np.float64)
+        expected = (self._last_access.n_points, self.config.n_output_features)
+        if grad_embeddings.shape != expected:
+            raise ValueError(
+                f"grad_embeddings shape {grad_embeddings.shape} does not match {expected}"
+            )
+        f = self.config.n_features_per_level
+        for idx, level in enumerate(self.levels):
+            grad_slice = grad_embeddings[:, idx * f:(idx + 1) * f]
+            level.backward(
+                grad_slice,
+                self._last_access.addresses[idx],
+                self._last_access.weights[idx],
+            )
+
+    # -- tracing / bookkeeping ------------------------------------------------
+    @property
+    def last_access(self) -> Optional[GridAccessRecord]:
+        """Access record of the most recent :meth:`forward` call."""
+        return self._last_access
+
+    @property
+    def n_output_features(self) -> int:
+        return self.config.n_output_features
+
+    @property
+    def total_table_entries(self) -> int:
+        return sum(level.table_size for level in self.levels)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total FP16 bytes of embedding storage across all levels."""
+        return sum(level.storage_bytes for level in self.levels)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for level in self.levels:
+            params.extend(level.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def accesses_per_point(self) -> int:
+        """Vertex reads needed to encode one point (8 per level)."""
+        return 8 * self.config.n_levels

@@ -1,0 +1,75 @@
+"""The spatial hash function of Instant-NGP (Eq. 3 in the paper).
+
+The hash maps an integer grid-vertex coordinate ``(x, y, z)`` to an index in
+a 1-D hash table of size ``T``:
+
+    h(x, y, z) = (pi1 * x  XOR  pi2 * y  XOR  pi3 * z)  mod  T
+
+with ``pi1 = 1``, ``pi2 = 2654435761`` and ``pi3 = 805459861`` (the constants
+from Teschner et al.'s optimised spatial hashing, also used by Instant-NGP).
+
+The choice ``pi1 = 1`` is what creates the memory-access *locality* the
+Instant-3D accelerator exploits: two vertices that differ only along the
+x axis map to addresses that differ by exactly their x difference (mod T),
+while differences along y or z are amplified by the large primes
+("remoteness").  See Sec. 4.2 of the paper and
+:mod:`repro.analysis.access_patterns`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PI1 = np.uint64(1)
+PI2 = np.uint64(2654435761)
+PI3 = np.uint64(805459861)
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+
+
+def spatial_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
+    """Hash integer vertex coordinates into ``[0, table_size)``.
+
+    Parameters
+    ----------
+    coords:
+        Integer array of shape ``(..., 3)`` holding non-negative vertex
+        coordinates ``(x, y, z)``.
+    table_size:
+        Number of entries ``T`` in the 1-D hash table.
+
+    Returns
+    -------
+    Array of shape ``coords.shape[:-1]`` with dtype ``int64`` containing the
+    hash-table indices.  Arithmetic follows the reference CUDA kernel: 32-bit
+    unsigned multiplication (overflow wraps) followed by XOR and modulo.
+    """
+    if table_size <= 0:
+        raise ValueError("table_size must be positive")
+    coords = np.asarray(coords)
+    if coords.shape[-1] != 3:
+        raise ValueError(f"coords must have a trailing dimension of 3, got {coords.shape}")
+    c = coords.astype(np.uint64)
+    x = (c[..., 0] * PI1) & _MASK32
+    y = (c[..., 1] * PI2) & _MASK32
+    z = (c[..., 2] * PI3) & _MASK32
+    h = (x ^ y ^ z) % np.uint64(table_size)
+    return h.astype(np.int64)
+
+
+def dense_index(coords: np.ndarray, resolution: int) -> np.ndarray:
+    """Direct (collision-free) indexing for coarse levels.
+
+    When a level's vertex count ``(resolution + 1)^3`` fits inside the hash
+    table, Instant-NGP stores the level densely instead of hashing it.  The
+    linear index uses x as the fastest-varying axis, which preserves the same
+    x-locality the hashed levels have.
+    """
+    coords = np.asarray(coords)
+    if coords.shape[-1] != 3:
+        raise ValueError(f"coords must have a trailing dimension of 3, got {coords.shape}")
+    stride = resolution + 1
+    idx = (coords[..., 0].astype(np.int64)
+           + coords[..., 1].astype(np.int64) * stride
+           + coords[..., 2].astype(np.int64) * stride * stride)
+    return idx

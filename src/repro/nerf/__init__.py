@@ -1,0 +1,41 @@
+"""NeRF training substrate: cameras, rays, sampling, volume rendering, losses.
+
+This package implements Steps ❶, ❷, ❹ and ❺ of the six-step NeRF training
+pipeline described in Sec. 2.1 of the paper (Step ❸ — querying point features
+— lives in :mod:`repro.core` for the hash-grid models and in
+:mod:`repro.nerf.vanilla` for the vanilla-NeRF baseline):
+
+❶ sample pixels      → :class:`~repro.nerf.cameras.PinholeCamera` /
+                        :func:`~repro.nerf.cameras.sample_pixel_batch`
+❷ pixels → rays      → :meth:`PinholeCamera.rays_for_pixels`
+   point sampling    → :func:`~repro.nerf.sampling.stratified_samples`
+❹ volume rendering   → :class:`~repro.nerf.volume_rendering.VolumeRenderer` (Eq. 1)
+❺ reconstruction loss→ :func:`~repro.nerf.losses.mse_loss` (Eq. 2),
+                        :func:`~repro.nerf.losses.psnr`
+"""
+
+from repro.nerf.cameras import PinholeCamera, RayBundle, sample_pixel_batch
+from repro.nerf.sampling import stratified_samples, ray_points
+from repro.nerf.volume_rendering import VolumeRenderer, RenderOutput
+from repro.nerf.losses import mse_loss, psnr, mse_to_psnr
+from repro.nerf.encoding import positional_encoding, spherical_harmonics_encoding
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.vanilla import VanillaNeRF, VanillaNeRFConfig
+
+__all__ = [
+    "PinholeCamera",
+    "RayBundle",
+    "sample_pixel_batch",
+    "stratified_samples",
+    "ray_points",
+    "VolumeRenderer",
+    "RenderOutput",
+    "mse_loss",
+    "psnr",
+    "mse_to_psnr",
+    "positional_encoding",
+    "spherical_harmonics_encoding",
+    "OccupancyGrid",
+    "VanillaNeRF",
+    "VanillaNeRFConfig",
+]

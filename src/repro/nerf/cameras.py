@@ -1,0 +1,142 @@
+"""Pinhole cameras, ray generation and pixel-batch sampling (Steps ❶ and ❷)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.math3d import normalize, transform_directions
+
+
+@dataclass
+class RayBundle:
+    """A batch of rays ``r(t) = origin + t * direction``.
+
+    ``origins`` and ``directions`` have shape ``(N, 3)``; directions are unit
+    length.  ``near``/``far`` are the per-bundle integration bounds used when
+    sampling points along the rays.
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    near: float
+    far: float
+
+    def __post_init__(self) -> None:
+        self.origins = np.asarray(self.origins, dtype=np.float64)
+        self.directions = np.asarray(self.directions, dtype=np.float64)
+        if self.origins.shape != self.directions.shape or self.origins.shape[-1] != 3:
+            raise ValueError("origins and directions must both have shape (N, 3)")
+        if self.near < 0 or self.far <= self.near:
+            raise ValueError("require 0 <= near < far")
+
+    @property
+    def n_rays(self) -> int:
+        return int(self.origins.shape[0])
+
+
+@dataclass
+class PinholeCamera:
+    """A posed pinhole camera using the NeRF/OpenGL convention.
+
+    The camera looks down its local ``-z`` axis; ``pose`` is the 4x4
+    camera-to-world matrix.  ``focal`` is expressed in pixels and shared by
+    the x and y axes (square pixels), matching the NeRF-Synthetic cameras.
+    """
+
+    width: int
+    height: int
+    focal: float
+    pose: np.ndarray
+    near: float = 0.05
+    far: float = 2.5
+
+    def __post_init__(self) -> None:
+        self.pose = np.asarray(self.pose, dtype=np.float64)
+        if self.pose.shape != (4, 4):
+            raise ValueError("pose must be a 4x4 camera-to-world matrix")
+        if self.width < 1 or self.height < 1:
+            raise ValueError("image dimensions must be positive")
+        if self.focal <= 0:
+            raise ValueError("focal length must be positive")
+
+    @property
+    def n_pixels(self) -> int:
+        return self.width * self.height
+
+    def pixel_grid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (cols, rows) index arrays for every pixel, row-major."""
+        rows, cols = np.meshgrid(
+            np.arange(self.height), np.arange(self.width), indexing="ij"
+        )
+        return cols.reshape(-1), rows.reshape(-1)
+
+    def rays_for_pixels(self, cols: np.ndarray, rows: np.ndarray) -> RayBundle:
+        """Emit world-space rays through the centres of the given pixels (Step ❷)."""
+        cols = np.asarray(cols, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.float64)
+        cx = self.width / 2.0
+        cy = self.height / 2.0
+        # Camera-space directions: +x right, +y up, camera looks along -z.
+        dirs_cam = np.stack(
+            [
+                (cols + 0.5 - cx) / self.focal,
+                -(rows + 0.5 - cy) / self.focal,
+                -np.ones_like(cols),
+            ],
+            axis=-1,
+        )
+        dirs_world = normalize(transform_directions(self.pose, dirs_cam))
+        origins = np.broadcast_to(self.pose[:3, 3], dirs_world.shape).copy()
+        return RayBundle(origins=origins, directions=dirs_world,
+                         near=self.near, far=self.far)
+
+    def all_rays(self) -> RayBundle:
+        """Rays for every pixel of the image, row-major order."""
+        cols, rows = self.pixel_grid()
+        return self.rays_for_pixels(cols, rows)
+
+
+def sample_pixel_batch(cameras, images, batch_size: int,
+                       rng: np.random.Generator):
+    """Step ❶: randomly sample a batch of pixels across all training views.
+
+    Parameters
+    ----------
+    cameras:
+        Sequence of :class:`PinholeCamera`, one per training view.
+    images:
+        Sequence of ``(H, W, 3)`` float arrays in ``[0, 1]`` aligned with
+        ``cameras``.
+    batch_size:
+        Number of pixels to draw.
+    rng:
+        Random generator (sampling is with replacement, as in Instant-NGP).
+
+    Returns
+    -------
+    ``(ray_bundle, target_rgb)`` where ``target_rgb`` is ``(batch_size, 3)``.
+    """
+    if len(cameras) != len(images) or not cameras:
+        raise ValueError("cameras and images must be non-empty and aligned")
+    n_views = len(cameras)
+    view_idx = rng.integers(0, n_views, size=batch_size)
+    origins = np.empty((batch_size, 3))
+    directions = np.empty((batch_size, 3))
+    targets = np.empty((batch_size, 3))
+    near = cameras[0].near
+    far = cameras[0].far
+    for view in np.unique(view_idx):
+        mask = view_idx == view
+        count = int(mask.sum())
+        cam = cameras[view]
+        image = np.asarray(images[view])
+        cols = rng.integers(0, cam.width, size=count)
+        rows = rng.integers(0, cam.height, size=count)
+        bundle = cam.rays_for_pixels(cols, rows)
+        origins[mask] = bundle.origins
+        directions[mask] = bundle.directions
+        targets[mask] = image[rows, cols]
+    return RayBundle(origins=origins, directions=directions, near=near, far=far), targets

@@ -1,0 +1,89 @@
+"""Input encodings: sinusoidal positional encoding and spherical harmonics.
+
+The vanilla-NeRF baseline encodes 3-D positions and view directions with the
+sinusoidal positional encoding of Mildenhall et al.; the Instant-NGP-style
+models encode positions with the hash grid (:mod:`repro.grid`) and view
+directions with a low-order spherical-harmonics basis, matching the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def positional_encoding(x: np.ndarray, n_frequencies: int,
+                        include_input: bool = True) -> np.ndarray:
+    """Sinusoidal positional encoding ``[x, sin(2^i x), cos(2^i x)]``.
+
+    ``x`` has shape ``(N, D)``; the output has shape
+    ``(N, D * (include_input + 2 * n_frequencies))``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    if n_frequencies < 0:
+        raise ValueError("n_frequencies must be >= 0")
+    features = [x] if include_input else []
+    for i in range(n_frequencies):
+        freq = (2.0 ** i) * np.pi
+        features.append(np.sin(freq * x))
+        features.append(np.cos(freq * x))
+    if not features:
+        return np.empty((x.shape[0], 0))
+    return np.concatenate(features, axis=1).astype(np.float32)
+
+
+def positional_encoding_dim(input_dim: int, n_frequencies: int,
+                            include_input: bool = True) -> int:
+    """Output dimensionality of :func:`positional_encoding`."""
+    return input_dim * ((1 if include_input else 0) + 2 * n_frequencies)
+
+
+def spherical_harmonics_encoding(dirs: np.ndarray, degree: int = 3) -> np.ndarray:
+    """Real spherical-harmonics basis evaluated at unit directions.
+
+    Supports degrees 1-4 (1, 4, 9 or 16 output features), the same options
+    as tiny-cuda-nn's ``SphericalHarmonics`` encoding used by Instant-NGP for
+    view directions.
+    """
+    if degree not in (1, 2, 3, 4):
+        raise ValueError("degree must be in {1, 2, 3, 4}")
+    dirs = np.asarray(dirs, dtype=np.float64)
+    if dirs.ndim != 2 or dirs.shape[1] != 3:
+        raise ValueError(f"dirs must have shape (N, 3), got {dirs.shape}")
+    norm = np.linalg.norm(dirs, axis=1, keepdims=True)
+    d = dirs / np.maximum(norm, 1e-12)
+    x, y, z = d[:, 0], d[:, 1], d[:, 2]
+    n = dirs.shape[0]
+    out = np.empty((n, degree * degree), dtype=np.float64)
+    out[:, 0] = 0.28209479177387814                    # l=0
+    if degree > 1:
+        out[:, 1] = -0.48860251190291987 * y           # l=1
+        out[:, 2] = 0.48860251190291987 * z
+        out[:, 3] = -0.48860251190291987 * x
+    if degree > 2:
+        xy, yz, xz = x * y, y * z, x * z
+        x2, y2, z2 = x * x, y * y, z * z
+        out[:, 4] = 1.0925484305920792 * xy            # l=2
+        out[:, 5] = -1.0925484305920792 * yz
+        out[:, 6] = 0.31539156525252005 * (3.0 * z2 - 1.0)
+        out[:, 7] = -1.0925484305920792 * xz
+        out[:, 8] = 0.5462742152960396 * (x2 - y2)
+    if degree > 3:
+        x2, y2, z2 = x * x, y * y, z * z
+        out[:, 9] = -0.5900435899266435 * y * (3.0 * x2 - y2)      # l=3
+        out[:, 10] = 2.890611442640554 * x * y * z
+        out[:, 11] = -0.4570457994644658 * y * (5.0 * z2 - 1.0)
+        out[:, 12] = 0.3731763325901154 * z * (5.0 * z2 - 3.0)
+        out[:, 13] = -0.4570457994644658 * x * (5.0 * z2 - 1.0)
+        out[:, 14] = 1.445305721320277 * z * (x2 - y2)
+        out[:, 15] = -0.5900435899266435 * x * (x2 - 3.0 * y2)
+    return out.astype(np.float32)
+
+
+def spherical_harmonics_dim(degree: int) -> int:
+    """Number of features produced by :func:`spherical_harmonics_encoding`."""
+    if degree not in (1, 2, 3, 4):
+        raise ValueError("degree must be in {1, 2, 3, 4}")
+    return degree * degree

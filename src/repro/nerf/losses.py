@@ -1,0 +1,39 @@
+"""Reconstruction loss (Eq. 2) and PSNR metric."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient with respect to ``pred``.
+
+    The paper's Eq. 2 sums squared errors over the ray batch; we use the mean
+    so the learning rate is independent of batch size (the gradient direction
+    is identical up to a constant factor).
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff ** 2))
+    grad = (2.0 / diff.size) * diff
+    return loss, grad
+
+
+def mse_to_psnr(mse: float, max_value: float = 1.0) -> float:
+    """Convert an MSE value to peak signal-to-noise ratio in dB."""
+    mse = max(float(mse), 1e-12)
+    return float(10.0 * np.log10((max_value ** 2) / mse))
+
+
+def psnr(pred: np.ndarray, target: np.ndarray, max_value: float = 1.0) -> float:
+    """PSNR between a predicted and a ground-truth image (both in [0, 1])."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return mse_to_psnr(float(np.mean((pred - target) ** 2)), max_value=max_value)

@@ -1,0 +1,73 @@
+"""Point sampling along rays (the per-ray part of Step ❸)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nerf.cameras import RayBundle
+
+
+def stratified_samples(ray_bundle: RayBundle, n_samples: int,
+                       rng: Optional[np.random.Generator] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``n_samples`` distances per ray between ``near`` and ``far``.
+
+    The ``[near, far]`` interval is split into ``n_samples`` equal bins; with
+    an ``rng`` each sample is drawn uniformly inside its bin (stratified
+    sampling, used during training), otherwise bin midpoints are used
+    (deterministic, used for evaluation rendering).
+
+    Returns
+    -------
+    ``(t_vals, deltas)`` — both of shape ``(n_rays, n_samples)``.  ``deltas``
+    are the inter-sample spacings ``t_{k+1} - t_k`` used by the volume
+    renderer, with the final delta closing the interval at ``far``.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    n_rays = ray_bundle.n_rays
+    near, far = ray_bundle.near, ray_bundle.far
+    edges = np.linspace(near, far, n_samples + 1)
+    lower = np.broadcast_to(edges[:-1], (n_rays, n_samples))
+    width = (far - near) / n_samples
+    if rng is not None:
+        jitter = rng.uniform(0.0, 1.0, size=(n_rays, n_samples))
+    else:
+        jitter = np.full((n_rays, n_samples), 0.5)
+    t_vals = lower + jitter * width
+    deltas = np.diff(t_vals, axis=1)
+    last_delta = np.maximum(far - t_vals[:, -1:], 1e-6)
+    deltas = np.concatenate([deltas, last_delta], axis=1)
+    return t_vals, deltas
+
+
+def ray_points(ray_bundle: RayBundle, t_vals: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``o + t * d`` for every sample of every ray.
+
+    Returns ``(points, dirs)`` where ``points`` is ``(n_rays * n_samples, 3)``
+    flattened in ray-major order and ``dirs`` repeats each ray direction for
+    each of its samples (the per-point view direction fed to the color head).
+    """
+    t_vals = np.asarray(t_vals, dtype=np.float64)
+    if t_vals.shape[0] != ray_bundle.n_rays:
+        raise ValueError("t_vals row count must equal the number of rays")
+    points = (
+        ray_bundle.origins[:, None, :]
+        + t_vals[:, :, None] * ray_bundle.directions[:, None, :]
+    )
+    n_samples = t_vals.shape[1]
+    dirs = np.repeat(ray_bundle.directions, n_samples, axis=0)
+    return points.reshape(-1, 3), dirs
+
+
+def normalize_points_to_unit_cube(points: np.ndarray, scene_bound: float) -> np.ndarray:
+    """Map world-space points in ``[-scene_bound, scene_bound]^3`` to ``[0, 1]^3``.
+
+    The hash grid is defined over the unit cube; points outside the scene
+    bound are clamped to the cube surface (they land in empty space anyway).
+    """
+    if scene_bound <= 0:
+        raise ValueError("scene_bound must be positive")
+    unit = (np.asarray(points, dtype=np.float64) + scene_bound) / (2.0 * scene_bound)
+    return np.clip(unit, 0.0, 1.0)

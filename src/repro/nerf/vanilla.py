@@ -1,0 +1,127 @@
+"""Vanilla NeRF baseline: a large MLP queried directly on encoded positions.
+
+This is the model the paper's background section costs out at ~1 MFLOP per
+point query and >1 day of training on a V100.  It exists in the reproduction
+for two purposes: (1) as a correctness reference for the radiance-field
+interface shared with the hash-grid models, and (2) to let the cost analysis
+of Sec. 2.1 (vanilla NeRF vs Instant-NGP FLOPs per query) be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nerf.encoding import (
+    positional_encoding,
+    positional_encoding_dim,
+)
+from repro.nn.activations import Sigmoid, TruncatedExp
+from repro.nn.mlp import MLP
+from repro.nn.parameter import Parameter
+
+
+@dataclass(frozen=True)
+class VanillaNeRFConfig:
+    """Hyper-parameters of the vanilla-NeRF MLP.
+
+    The paper's reference uses 10 layers of 256 hidden units; the defaults
+    here are a scaled-down version that keeps unit tests fast while the
+    ``paper_scale`` constructor reproduces the published cost numbers.
+    """
+
+    n_position_frequencies: int = 6
+    n_direction_frequencies: int = 2
+    trunk_layers: int = 4
+    trunk_width: int = 64
+    geo_feature_dim: int = 15
+    color_width: int = 32
+
+    @staticmethod
+    def paper_scale() -> "VanillaNeRFConfig":
+        """Configuration matching the 10x256 MLP costed in the paper."""
+        return VanillaNeRFConfig(
+            n_position_frequencies=10,
+            n_direction_frequencies=4,
+            trunk_layers=8,
+            trunk_width=256,
+            geo_feature_dim=255,
+            color_width=128,
+        )
+
+
+class VanillaNeRF:
+    """Positional-encoding + big-MLP radiance field with manual backward.
+
+    ``query`` maps world-space points (already normalised to ``[0, 1]^3``) and
+    unit view directions to ``(sigma, rgb)``; ``backward`` propagates the
+    gradients coming out of the volume renderer into the MLP parameters.
+    """
+
+    def __init__(self, config: VanillaNeRFConfig, rng: np.random.Generator):
+        self.config = config
+        pos_dim = positional_encoding_dim(3, config.n_position_frequencies)
+        dir_dim = positional_encoding_dim(3, config.n_direction_frequencies)
+        trunk_hidden = [config.trunk_width] * config.trunk_layers
+        self.trunk = MLP(
+            in_features=pos_dim,
+            hidden_features=trunk_hidden,
+            out_features=1 + config.geo_feature_dim,
+            rng=rng,
+            name="vanilla.trunk",
+        )
+        self.color_head = MLP(
+            in_features=config.geo_feature_dim + dir_dim,
+            hidden_features=[config.color_width],
+            out_features=3,
+            rng=rng,
+            name="vanilla.color",
+        )
+        self.density_activation = TruncatedExp()
+        self.color_activation = Sigmoid()
+        self._dir_dim = dir_dim
+
+    # -- query / backward -----------------------------------------------------
+    def query(self, points: np.ndarray, dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate density and color for each point (Step ❸ of vanilla NeRF)."""
+        points = np.asarray(points, dtype=np.float64)
+        dirs = np.asarray(dirs, dtype=np.float64)
+        if points.shape != dirs.shape or points.shape[-1] != 3:
+            raise ValueError("points and dirs must both have shape (N, 3)")
+        pos_enc = positional_encoding(points, self.config.n_position_frequencies)
+        dir_enc = positional_encoding(dirs, self.config.n_direction_frequencies)
+        trunk_out = self.trunk.forward(pos_enc)
+        raw_sigma = trunk_out[:, :1]
+        geo_features = trunk_out[:, 1:]
+        sigma = self.density_activation.forward(raw_sigma)[:, 0]
+        color_in = np.concatenate([geo_features, dir_enc], axis=1)
+        raw_rgb = self.color_head.forward(color_in)
+        rgb = self.color_activation.forward(raw_rgb)
+        return sigma, rgb
+
+    def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray) -> None:
+        """Accumulate parameter gradients from per-point output gradients."""
+        grad_raw_rgb = self.color_activation.backward(grad_rgb)
+        grad_color_in = self.color_head.backward(grad_raw_rgb)
+        grad_geo = grad_color_in[:, : self.config.geo_feature_dim]
+        grad_raw_sigma = self.density_activation.backward(
+            np.asarray(grad_sigma, dtype=np.float32)[:, None]
+        )
+        grad_trunk_out = np.concatenate([grad_raw_sigma, grad_geo], axis=1)
+        self.trunk.backward(grad_trunk_out)
+
+    # -- bookkeeping ------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        return self.trunk.parameters() + self.color_head.parameters()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    @property
+    def flops_per_query(self) -> int:
+        """Forward FLOPs to evaluate one point (the paper's ~1 MFLOP figure
+        at :meth:`VanillaNeRFConfig.paper_scale`)."""
+        return self.trunk.flops_per_sample + self.color_head.flops_per_sample

@@ -1,0 +1,43 @@
+"""A tiny NumPy neural-network library with explicit forward/backward passes.
+
+Instant-NGP-style NeRF training only needs very small fully-connected
+networks (3 layers x 64 hidden units), so instead of depending on a deep
+learning framework the reproduction implements the required pieces directly:
+
+* :class:`~repro.nn.parameter.Parameter` — a named tensor with a gradient
+  accumulator.
+* :class:`~repro.nn.layers.Linear` and the activations in
+  :mod:`repro.nn.activations` — modules with ``forward``/``backward``.
+* :class:`~repro.nn.mlp.MLP` — a sequential container used for both the
+  density and color heads.
+* :class:`~repro.nn.optim.Adam` / :class:`~repro.nn.optim.SGD` — optimisers
+  that consume the accumulated gradients.
+* :func:`~repro.nn.gradcheck.numerical_gradient` — finite-difference helper
+  used by the test-suite to validate every backward pass.
+
+The forward methods cache whatever the matching backward pass needs, and
+``backward`` both returns the gradient with respect to the input and
+accumulates parameter gradients, mirroring the structure of the CUDA kernels
+the paper profiles.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.layers import Linear
+from repro.nn.activations import ReLU, Sigmoid, TruncatedExp, Identity, Softplus
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adam
+from repro.nn.gradcheck import numerical_gradient
+
+__all__ = [
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "TruncatedExp",
+    "Softplus",
+    "Identity",
+    "MLP",
+    "SGD",
+    "Adam",
+    "numerical_gradient",
+]

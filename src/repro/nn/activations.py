@@ -1,0 +1,120 @@
+"""Pointwise activation modules.
+
+Each activation caches what its backward pass needs.  ``TruncatedExp`` is the
+clamped exponential Instant-NGP uses to map the raw density-head output to a
+non-negative volumetric density with bounded gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class _Activation:
+    """Base class: parameter-free module with cached forward state."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    @property
+    def flops_per_sample(self) -> int:
+        return 0
+
+
+class Identity(_Activation):
+    """Pass-through activation (used for the final layer of heads)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.asarray(grad_out, dtype=np.float32)
+
+
+class ReLU(_Activation):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0).astype(np.float32)
+
+
+class Sigmoid(_Activation):
+    """Logistic sigmoid, used to map the color head output into [0, 1]."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+        self._out = out.astype(np.float32)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return (grad_out * self._out * (1.0 - self._out)).astype(np.float32)
+
+
+class TruncatedExp(_Activation):
+    """Exponential with clamped input, the density activation of Instant-NGP.
+
+    The input is clamped to ``[-clamp, clamp]`` in the backward pass so a few
+    outlier samples cannot blow up the hash-grid gradients; the forward pass
+    clamps as well to keep densities finite.
+    """
+
+    def __init__(self, clamp: float = 15.0) -> None:
+        self.clamp = float(clamp)
+        self._clamped_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        clamped = np.clip(x, -self.clamp, self.clamp)
+        self._clamped_input = clamped
+        return np.exp(clamped).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._clamped_input is None:
+            raise RuntimeError("backward called before forward")
+        return (grad_out * np.exp(self._clamped_input)).astype(np.float32)
+
+
+class Softplus(_Activation):
+    """Numerically-stable softplus, an alternative density activation."""
+
+    def __init__(self, beta: float = 1.0) -> None:
+        self.beta = float(beta)
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._input = x
+        out = np.logaddexp(0.0, self.beta * x) / self.beta
+        return out.astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.beta * self._input, -30.0, 30.0)))
+        return (grad_out * sig).astype(np.float32)

@@ -1,0 +1,73 @@
+"""Sequential multilayer perceptron container."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.activations import Identity, ReLU, _Activation
+from repro.nn.layers import Linear
+from repro.nn.parameter import Parameter
+
+
+class MLP:
+    """A small fully-connected network built from Linear + activation pairs.
+
+    Instant-NGP replaces the 10-layer/256-unit vanilla-NeRF MLP with
+    3-layer/64-unit heads; :class:`MLP` covers both by taking an arbitrary
+    list of hidden widths.  ``output_activation`` defaults to identity so
+    heads can apply their own non-linearity (sigmoid for color, truncated
+    exponential for density).
+    """
+
+    def __init__(self, in_features: int, hidden_features: Sequence[int],
+                 out_features: int, rng: np.random.Generator,
+                 hidden_activation=ReLU, output_activation=Identity,
+                 name: str = "mlp"):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.layers: List = []
+        widths = [in_features, *hidden_features, out_features]
+        for i, (w_in, w_out) in enumerate(zip(widths[:-1], widths[1:])):
+            self.layers.append(
+                Linear(w_in, w_out, rng=rng, name=f"{name}.linear{i}")
+            )
+            is_last = i == len(widths) - 2
+            activation = output_activation() if is_last else hidden_activation()
+            if not isinstance(activation, _Activation):
+                raise TypeError("activations must derive from _Activation")
+            self.layers.append(activation)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network; each layer caches state for the backward pass."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_out`` and return the input gradient."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    @property
+    def flops_per_sample(self) -> int:
+        """FLOPs to evaluate one input row (forward pass only)."""
+        return sum(layer.flops_per_sample for layer in self.layers)

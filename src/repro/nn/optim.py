@@ -1,0 +1,87 @@
+"""Gradient-descent optimisers operating on :class:`~repro.nn.parameter.Parameter`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters: List[Parameter] = list(parameters)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently accumulated."""
+        for param in self.parameters:
+            update = param.grad
+            if self.momentum > 0.0:
+                vel = self._velocity.setdefault(id(param), np.zeros_like(param.data))
+                vel *= self.momentum
+                vel += update
+                update = vel
+            param.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam optimiser, the optimiser used by Instant-NGP for both MLPs and grids.
+
+    The hash-grid tables receive extremely sparse gradients (only touched
+    entries are non-zero); Adam's per-element moment estimates handle that
+    without any special casing, exactly as in the reference implementation.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 betas=(0.9, 0.99), eps: float = 1e-10,
+                 weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters: List[Parameter] = list(parameters)
+        self.lr = float(lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.setdefault(id(param), np.zeros_like(param.data))
+            v = self._v.setdefault(id(param), np.zeros_like(param.data))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count

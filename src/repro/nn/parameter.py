@@ -1,0 +1,44 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable tensor with a gradient accumulator.
+
+    The library uses float32 data throughout to mirror the FP16/FP32 mixed
+    precision of the reference CUDA implementation while keeping NumPy
+    numerics stable.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad.fill(0.0)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulator (shape-checked)."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

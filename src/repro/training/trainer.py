@@ -1,0 +1,188 @@
+"""The six-step NeRF training loop with per-branch update frequencies.
+
+One call to :meth:`Trainer.train_step` executes the paper's pipeline:
+
+❶ sample a pixel batch → ❷ map the pixels to rays and sample points along
+them → ❸ query the decoupled radiance field → ❹ volume-render the predicted
+pixel colors → ❺ compute the squared-error loss → ❻ back-propagate, where
+the color branch's back-propagation and optimiser step are skipped on
+iterations the ``F_C`` schedule marks as non-update iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import Instant3DConfig
+from repro.core.model import DecoupledRadianceField
+from repro.core.schedule import BranchSchedules
+from repro.datasets.dataset import SceneDataset
+from repro.nerf.cameras import sample_pixel_batch
+from repro.nerf.losses import mse_loss, mse_to_psnr
+from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
+from repro.nerf.volume_rendering import VolumeRenderer
+from repro.nn.optim import Adam
+from repro.training.metrics import EvaluationResult, evaluate_model
+from repro.utils.seeding import derive_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Loss curve and periodic evaluations recorded during training."""
+
+    iterations: List[int] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+    batch_psnrs: List[float] = field(default_factory=list)
+    eval_iterations: List[int] = field(default_factory=list)
+    eval_rgb_psnrs: List[float] = field(default_factory=list)
+    eval_depth_psnrs: List[float] = field(default_factory=list)
+
+    def record_step(self, iteration: int, loss: float, batch_psnr: float) -> None:
+        self.iterations.append(iteration)
+        self.losses.append(loss)
+        self.batch_psnrs.append(batch_psnr)
+
+    def record_eval(self, iteration: int, result: EvaluationResult) -> None:
+        self.eval_iterations.append(iteration)
+        self.eval_rgb_psnrs.append(result.rgb_psnr)
+        self.eval_depth_psnrs.append(result.depth_psnr)
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    history: TrainingHistory
+    final_eval: EvaluationResult
+    n_iterations: int
+    density_updates: int
+    color_updates: int
+
+    @property
+    def rgb_psnr(self) -> float:
+        return self.final_eval.rgb_psnr
+
+    @property
+    def depth_psnr(self) -> float:
+        return self.final_eval.depth_psnr
+
+
+class Trainer:
+    """Optimises a :class:`DecoupledRadianceField` on one scene dataset."""
+
+    def __init__(self, model: DecoupledRadianceField, dataset: SceneDataset,
+                 config: Optional[Instant3DConfig] = None, seed: int = 0):
+        self.model = model
+        self.dataset = dataset
+        self.config = config if config is not None else model.config
+        self.schedules = BranchSchedules.from_frequencies(
+            self.config.density_update_freq, self.config.color_update_freq
+        )
+        self.renderer = VolumeRenderer(white_background=self.config.white_background)
+        self.density_optimizer = Adam(model.density_parameters(),
+                                      lr=self.config.learning_rate)
+        self.color_optimizer = Adam(model.color_parameters(),
+                                    lr=self.config.learning_rate)
+        self._pixel_rng = derive_rng(seed, f"{dataset.name}:pixels")
+        self._sample_rng = derive_rng(seed, f"{dataset.name}:samples")
+        self.iteration = 0
+        self.density_updates = 0
+        self.color_updates = 0
+
+    # -- one iteration ---------------------------------------------------------
+    def train_step(self) -> Dict[str, float]:
+        """Run one full training iteration and return its scalar metrics."""
+        config = self.config
+        update_density, update_color = self.schedules.updates_at(self.iteration)
+
+        # ❶ / ❷ — pixel batch and rays.
+        bundle, targets = sample_pixel_batch(
+            self.dataset.train_cameras, self.dataset.train_images,
+            config.batch_pixels, self._pixel_rng,
+        )
+        t_vals, deltas = stratified_samples(bundle, config.n_samples_per_ray,
+                                            rng=self._sample_rng)
+        points, dirs = ray_points(bundle, t_vals)
+        points_unit = normalize_points_to_unit_cube(points, self.dataset.scene_bound)
+
+        # ❸ — query the decoupled radiance field.
+        sigma, rgb = self.model.query(points_unit, dirs)
+        n_rays = bundle.n_rays
+        n_samples = config.n_samples_per_ray
+        sigma = sigma.reshape(n_rays, n_samples)
+        rgb = rgb.reshape(n_rays, n_samples, 3)
+
+        # ❹ / ❺ — volume rendering and loss.
+        render = self.renderer.forward(sigma, rgb, deltas, t_vals)
+        loss, grad_colors = mse_loss(render.colors, targets)
+
+        # ❻ — back-propagation with per-branch update schedule.
+        grad_sigmas, grad_rgbs = self.renderer.backward(grad_colors)
+        self.model.zero_grad()
+        self.model.backward(
+            grad_sigmas.reshape(-1),
+            grad_rgbs.reshape(-1, 3),
+            update_density=update_density,
+            update_color=update_color,
+        )
+        if update_density:
+            self.density_optimizer.step()
+            self.density_updates += 1
+        if update_color:
+            self.color_optimizer.step()
+            self.color_updates += 1
+
+        self.iteration += 1
+        return {
+            "iteration": float(self.iteration),
+            "loss": loss,
+            "batch_psnr": mse_to_psnr(loss),
+            "updated_density": float(update_density),
+            "updated_color": float(update_color),
+        }
+
+    # -- full run ---------------------------------------------------------------
+    def train(self, n_iterations: int, eval_every: Optional[int] = None,
+              eval_views: int = 1, eval_samples: int = 48) -> TrainingResult:
+        """Train for ``n_iterations`` and evaluate on the test split.
+
+        ``eval_every`` triggers intermediate evaluations (used by the Fig. 5
+        color-vs-density learning-pace analysis); the final evaluation always
+        runs.
+        """
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        history = TrainingHistory()
+        for _ in range(n_iterations):
+            metrics = self.train_step()
+            history.record_step(self.iteration, metrics["loss"], metrics["batch_psnr"])
+            if eval_every and self.iteration % eval_every == 0:
+                result = evaluate_model(
+                    self.model, self.dataset, n_views=eval_views,
+                    n_samples=eval_samples,
+                    white_background=self.config.white_background,
+                )
+                history.record_eval(self.iteration, result)
+        final_eval = evaluate_model(
+            self.model, self.dataset, n_views=eval_views, n_samples=eval_samples,
+            white_background=self.config.white_background,
+        )
+        return TrainingResult(
+            history=history,
+            final_eval=final_eval,
+            n_iterations=self.iteration,
+            density_updates=self.density_updates,
+            color_updates=self.color_updates,
+        )
+
+
+def train_scene(dataset: SceneDataset, config: Instant3DConfig, n_iterations: int,
+                seed: int = 0, eval_every: Optional[int] = None,
+                eval_views: int = 1) -> TrainingResult:
+    """Convenience helper: build a model for ``config`` and train it on ``dataset``."""
+    model = DecoupledRadianceField(config, seed=seed)
+    trainer = Trainer(model, dataset, config=config, seed=seed)
+    return trainer.train(n_iterations, eval_every=eval_every, eval_views=eval_views)

@@ -1,0 +1,28 @@
+"""Shared utilities: 3-D math helpers, deterministic RNG, table formatting."""
+
+from repro.utils.math3d import (
+    normalize,
+    look_at_pose,
+    spherical_pose,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    transform_points,
+    transform_directions,
+)
+from repro.utils.seeding import new_rng, derive_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "normalize",
+    "look_at_pose",
+    "spherical_pose",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "transform_points",
+    "transform_directions",
+    "new_rng",
+    "derive_rng",
+    "format_table",
+]

@@ -1,0 +1,36 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report.  ``format_table`` renders them as aligned ASCII so the output
+is readable both in a terminal and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _to_str(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.1f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_to_str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+The heavy objects (rendered datasets, extracted memory traces) are built once
+per session at deliberately tiny scale so the full suite stays fast while
+still exercising the real code paths end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import Instant3DConfig
+from repro.core.model import DecoupledRadianceField
+from repro.datasets import make_synthetic_scene
+from repro.datasets.dataset import build_dataset
+from repro.grid.hash_encoding import HashGridConfig
+from repro.utils.seeding import new_rng
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return new_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_grid_config() -> HashGridConfig:
+    """A small multiresolution grid used across unit tests."""
+    return HashGridConfig(
+        n_levels=4,
+        n_features_per_level=2,
+        log2_hashmap_size=10,
+        base_resolution=4,
+        finest_resolution=32,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_grid_config) -> Instant3DConfig:
+    """A reduced-scale Instant-3D configuration for fast training tests."""
+    return Instant3DConfig.instant_3d(
+        grid=tiny_grid_config,
+        batch_pixels=64,
+        n_samples_per_ray=16,
+        mlp_hidden_width=16,
+        mlp_hidden_layers=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def baseline_tiny_config(tiny_grid_config) -> Instant3DConfig:
+    """The Instant-NGP-baseline counterpart of ``tiny_config``."""
+    return Instant3DConfig.instant_ngp_baseline(
+        grid=tiny_grid_config,
+        batch_pixels=64,
+        n_samples_per_ray=16,
+        mlp_hidden_width=16,
+        mlp_hidden_layers=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny rendered dataset of the lego-like scene (built once per session)."""
+    scene = make_synthetic_scene("lego")
+    return build_dataset(scene, n_train_views=4, n_test_views=2, image_size=20,
+                         seed=0, suite="nerf_synthetic", gt_samples=48)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config) -> DecoupledRadianceField:
+    """An untrained model matching ``tiny_config`` (do not mutate in tests)."""
+    return DecoupledRadianceField(tiny_config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_model, tiny_dataset):
+    """A memory trace extracted from one query batch of the tiny model."""
+    from repro.accelerator.trace import extract_training_trace
+
+    return extract_training_trace(tiny_model, tiny_dataset,
+                                  batch_pixels=32, samples_per_ray=8, seed=0)

@@ -1,0 +1,194 @@
+"""Tests for the multiresolution hash-grid encoding."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    CORNER_OFFSETS,
+    HashGridConfig,
+    MultiResHashGrid,
+    PI2,
+    PI3,
+    dense_index,
+    spatial_hash,
+    trilinear_weights,
+)
+from repro.grid.interpolation import interpolate, interpolate_backward
+from repro.nn.gradcheck import numerical_gradient
+from repro.utils.seeding import new_rng
+
+
+class TestSpatialHash:
+    def test_range(self):
+        coords = new_rng(0).integers(0, 1000, size=(100, 3))
+        h = spatial_hash(coords, table_size=512)
+        assert np.all(h >= 0) and np.all(h < 512)
+
+    def test_deterministic(self):
+        coords = np.array([[1, 2, 3], [4, 5, 6]])
+        np.testing.assert_array_equal(spatial_hash(coords, 1024),
+                                      spatial_hash(coords, 1024))
+
+    def test_x_locality(self):
+        """Differences along x translate directly into small address deltas."""
+        table = 1 << 20
+        a = spatial_hash(np.array([[100, 7, 9]]), table)[0]
+        b = spatial_hash(np.array([[101, 7, 9]]), table)[0]
+        assert abs(int(a) - int(b)) <= 1 or abs(abs(int(a) - int(b)) - table) <= 1
+
+    def test_y_z_remoteness(self):
+        """Differences along y or z are amplified by the large primes."""
+        table = 1 << 20
+        base = spatial_hash(np.array([[100, 7, 9]]), table)[0]
+        y_next = spatial_hash(np.array([[100, 8, 9]]), table)[0]
+        z_next = spatial_hash(np.array([[100, 7, 10]]), table)[0]
+        assert abs(int(base) - int(y_next)) > 100
+        assert abs(int(base) - int(z_next)) > 100
+
+    def test_matches_reference_formula(self):
+        coords = np.array([[3, 5, 7]])
+        expected = (np.uint64(3) ^ (np.uint64(5) * PI2 & np.uint64(0xFFFFFFFF))
+                    ^ (np.uint64(7) * PI3 & np.uint64(0xFFFFFFFF))) % np.uint64(997)
+        assert spatial_hash(coords, 997)[0] == int(expected)
+
+    def test_invalid_table_size(self):
+        with pytest.raises(ValueError):
+            spatial_hash(np.zeros((1, 3), dtype=int), 0)
+
+
+class TestDenseIndex:
+    def test_bijective_on_grid(self):
+        res = 4
+        coords = np.stack(np.meshgrid(*[np.arange(res + 1)] * 3, indexing="ij"),
+                          axis=-1).reshape(-1, 3)
+        idx = dense_index(coords, res)
+        assert len(np.unique(idx)) == (res + 1) ** 3
+        assert idx.min() == 0 and idx.max() == (res + 1) ** 3 - 1
+
+    def test_x_is_fastest_axis(self):
+        assert dense_index(np.array([1, 0, 0]), 4) - dense_index(np.array([0, 0, 0]), 4) == 1
+
+
+class TestTrilinearWeights:
+    def test_weights_sum_to_one(self):
+        frac = new_rng(1).uniform(size=(50, 3))
+        w = trilinear_weights(frac)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_corner_exactness(self):
+        """At a corner, all weight concentrates on that corner."""
+        for corner_idx, offset in enumerate(CORNER_OFFSETS):
+            w = trilinear_weights(offset[None, :].astype(float))
+            assert np.isclose(w[0, corner_idx], 1.0)
+            assert np.isclose(w[0].sum(), 1.0)
+
+    def test_center_is_uniform(self):
+        w = trilinear_weights(np.full((1, 3), 0.5))
+        np.testing.assert_allclose(w, 1.0 / 8.0)
+
+    def test_interpolate_constant_field(self):
+        values = np.ones((5, 8, 2)) * 3.0
+        w = trilinear_weights(new_rng(2).uniform(size=(5, 3)))
+        out = interpolate(values, w)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_interpolate_backward_shapes_and_values(self):
+        w = trilinear_weights(np.full((2, 3), 0.5))
+        grad = interpolate_backward(np.ones((2, 3)), w)
+        assert grad.shape == (2, 8, 3)
+        np.testing.assert_allclose(grad, 1.0 / 8.0)
+
+
+class TestHashGridConfig:
+    def test_per_level_scale(self, tiny_grid_config):
+        cfg = tiny_grid_config
+        assert cfg.level_resolution(0) == cfg.base_resolution
+        assert cfg.level_resolution(cfg.n_levels - 1) <= cfg.finest_resolution
+        assert cfg.per_level_scale > 1.0
+
+    def test_scaled_reduces_entries(self, tiny_grid_config):
+        scaled = tiny_grid_config.scaled(0.25)
+        assert scaled.max_table_entries < tiny_grid_config.max_table_entries
+        assert scaled.n_levels == tiny_grid_config.n_levels
+
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ValueError):
+            HashGridConfig(n_levels=0)
+        with pytest.raises(ValueError):
+            HashGridConfig(size_scale=0.0)
+        with pytest.raises(ValueError):
+            HashGridConfig(base_resolution=32, finest_resolution=16)
+
+
+class TestMultiResHashGrid:
+    def test_forward_shape(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        points = new_rng(1).uniform(size=(17, 3))
+        out = grid.forward(points)
+        assert out.shape == (17, tiny_grid_config.n_output_features)
+
+    def test_coarse_levels_are_dense(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        assert grid.levels[0].is_dense
+        assert grid.levels[0].table_size == (tiny_grid_config.base_resolution + 1) ** 3
+
+    def test_access_record_populated(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        points = new_rng(2).uniform(size=(9, 3))
+        grid.forward(points)
+        record = grid.last_access
+        assert record is not None
+        assert record.n_points == 9
+        assert record.n_levels == tiny_grid_config.n_levels
+        assert record.total_accesses() == 9 * 8 * tiny_grid_config.n_levels
+        flat = record.flat_addresses()
+        assert flat.size == record.total_accesses()
+        assert flat.max() < grid.total_table_entries
+
+    def test_backward_before_forward_raises(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        with pytest.raises(RuntimeError):
+            grid.backward(np.zeros((3, tiny_grid_config.n_output_features)))
+
+    def test_backward_scatters_gradients(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        points = new_rng(3).uniform(size=(5, 3))
+        out = grid.forward(points)
+        grid.backward(np.ones_like(out))
+        assert any(np.any(level.table.grad != 0.0) for level in grid.levels)
+
+    def test_backward_matches_numerical_for_single_level(self):
+        config = HashGridConfig(n_levels=1, n_features_per_level=2,
+                                log2_hashmap_size=8, base_resolution=4,
+                                finest_resolution=4)
+        grid = MultiResHashGrid(config, rng=new_rng(4))
+        points = new_rng(5).uniform(0.1, 0.9, size=(3, 3))
+        table = grid.levels[0].table
+
+        def loss_for_table(t):
+            saved = table.data.copy()
+            table.data = t.astype(np.float32)
+            out = grid.forward(points)
+            table.data = saved
+            return float(np.sum(out ** 2))
+
+        out = grid.forward(points)
+        grid.zero_grad()
+        grid.backward(2.0 * out)
+        numeric = numerical_gradient(loss_for_table, table.data.astype(np.float64))
+        np.testing.assert_allclose(table.grad, numeric, rtol=2e-2, atol=2e-2)
+
+    def test_points_outside_unit_cube_are_clamped(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        out = grid.forward(np.array([[-0.5, 1.5, 0.5], [2.0, -1.0, 3.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_storage_and_access_accounting(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        assert grid.storage_bytes == sum(l.storage_bytes for l in grid.levels)
+        assert grid.accesses_per_point() == 8 * tiny_grid_config.n_levels
+
+    def test_invalid_points_shape_raises(self, tiny_grid_config):
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
+        with pytest.raises(ValueError):
+            grid.forward(np.zeros((3, 2)))

@@ -1,0 +1,209 @@
+"""Tests for the tiny neural-network library (layers, MLP, optimisers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Linear,
+    Parameter,
+    ReLU,
+    SGD,
+    Sigmoid,
+    Softplus,
+    TruncatedExp,
+    numerical_gradient,
+)
+from repro.utils.seeding import new_rng
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert np.all(p.grad == 0.0)
+
+    def test_accumulate_and_zero(self):
+        p = Parameter(np.zeros((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        np.testing.assert_allclose(p.grad, 2.0)
+        p.zero_grad()
+        np.testing.assert_allclose(p.grad, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        p = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.accumulate_grad(np.zeros(3))
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 6, rng=new_rng(0))
+        out = layer.forward(np.random.default_rng(0).normal(size=(5, 4)))
+        assert out.shape == (5, 6)
+
+    def test_invalid_input_shape_raises(self):
+        layer = Linear(4, 6, rng=new_rng(0))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((5, 3)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2, rng=new_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = new_rng(3)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        target = rng.normal(size=(4, 2)).astype(np.float32)
+
+        def loss_for_weights(w):
+            saved = layer.weight.data.copy()
+            layer.weight.data = w.astype(np.float32)
+            out = layer.forward(x)
+            layer.weight.data = saved
+            return float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        layer.backward(2.0 * (out - target))
+        numeric = numerical_gradient(loss_for_weights, layer.weight.data.astype(np.float64))
+        np.testing.assert_allclose(layer.weight.grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = new_rng(4)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3))
+
+        def loss_for_input(xi):
+            return float(np.sum(layer.forward(xi) ** 2))
+
+        out = layer.forward(x)
+        grad_in = layer.backward(2.0 * out)
+        numeric = numerical_gradient(loss_for_input, x.copy())
+        np.testing.assert_allclose(grad_in, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_flops_per_sample(self):
+        layer = Linear(8, 4, rng=new_rng(0))
+        assert layer.flops_per_sample == 2 * 8 * 4 + 4
+
+
+class TestActivations:
+    @pytest.mark.parametrize("activation_cls", [ReLU, Sigmoid, TruncatedExp, Softplus])
+    def test_gradient_matches_numerical(self, activation_cls):
+        act = activation_cls()
+        rng = new_rng(5)
+        x = rng.normal(size=(3, 4))
+
+        def loss(xi):
+            fresh = activation_cls()
+            return float(np.sum(fresh.forward(xi) ** 2))
+
+        out = act.forward(x)
+        grad = act.backward(2.0 * out)
+        numeric = numerical_gradient(loss, x.copy())
+        np.testing.assert_allclose(grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_relu_zeroes_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_truncated_exp_clamps(self):
+        act = TruncatedExp(clamp=5.0)
+        out = act.forward(np.array([[100.0]]))
+        assert np.isclose(out[0, 0], np.exp(5.0), rtol=1e-5)
+
+
+class TestMLP:
+    def test_output_shape_and_param_count(self):
+        mlp = MLP(4, [8, 8], 2, rng=new_rng(0))
+        out = mlp.forward(np.zeros((3, 4), dtype=np.float32))
+        assert out.shape == (3, 2)
+        expected_params = (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2)
+        assert mlp.num_parameters == expected_params
+
+    def test_backward_accumulates_all_parameter_grads(self):
+        mlp = MLP(3, [5], 2, rng=new_rng(1))
+        x = new_rng(2).normal(size=(6, 3))
+        out = mlp.forward(x)
+        mlp.backward(np.ones_like(out))
+        assert all(np.any(p.grad != 0.0) for p in mlp.parameters())
+
+    def test_zero_grad(self):
+        mlp = MLP(3, [5], 2, rng=new_rng(1))
+        out = mlp.forward(np.ones((2, 3), dtype=np.float32))
+        mlp.backward(np.ones_like(out))
+        mlp.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in mlp.parameters())
+
+    def test_gradient_matches_numerical_on_first_layer(self):
+        mlp = MLP(2, [4], 1, rng=new_rng(7))
+        x = new_rng(8).normal(size=(3, 2)).astype(np.float32)
+        first_weight = mlp.parameters()[0]
+
+        def loss_for(w):
+            saved = first_weight.data.copy()
+            first_weight.data = w.astype(np.float32)
+            out = mlp.forward(x)
+            first_weight.data = saved
+            return float(np.sum(out ** 2))
+
+        out = mlp.forward(x)
+        mlp.zero_grad()
+        mlp.backward(2.0 * out)
+        numeric = numerical_gradient(loss_for, first_weight.data.astype(np.float64))
+        np.testing.assert_allclose(first_weight.grad, numeric, rtol=2e-2, atol=2e-2)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        return param
+
+    def test_sgd_reduces_quadratic(self):
+        param = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            param.accumulate_grad(2.0 * param.data)
+            opt.step()
+        assert np.linalg.norm(param.data) < 1e-3
+
+    def test_adam_reduces_quadratic(self):
+        param = self._quadratic_problem()
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            param.accumulate_grad(2.0 * param.data)
+            opt.step()
+        assert np.linalg.norm(param.data) < 1e-2
+
+    def test_adam_step_count(self):
+        param = Parameter(np.zeros(2))
+        opt = Adam([param], lr=0.1)
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_sgd_momentum_accelerates(self):
+        param_plain = Parameter(np.array([10.0]))
+        param_momentum = Parameter(np.array([10.0]))
+        plain = SGD([param_plain], lr=0.01)
+        momentum = SGD([param_momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for opt, param in ((plain, param_plain), (momentum, param_momentum)):
+                opt.zero_grad()
+                param.accumulate_grad(2.0 * param.data)
+                opt.step()
+        assert abs(param_momentum.data[0]) < abs(param_plain.data[0])

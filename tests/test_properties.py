@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.accelerator.bum import BackPropUpdateMerger
+from repro.accelerator.sram import SRAMBankArray
+from repro.core.schedule import UpdateSchedule
+from repro.grid.hash_function import spatial_hash
+from repro.grid.interpolation import interpolate, trilinear_weights
+from repro.nerf.losses import mse_loss, mse_to_psnr
+from repro.nerf.volume_rendering import VolumeRenderer
+
+
+# ---------------------------------------------------------------------------
+# Spatial hash (Eq. 3)
+# ---------------------------------------------------------------------------
+@given(
+    coords=arrays(np.int64, (20, 3), elements=st.integers(min_value=0, max_value=2**20)),
+    table_size=st.integers(min_value=1, max_value=2**20),
+)
+@settings(max_examples=50, deadline=None)
+def test_spatial_hash_always_in_range(coords, table_size):
+    h = spatial_hash(coords, table_size)
+    assert np.all(h >= 0) and np.all(h < table_size)
+
+
+@given(
+    x=st.integers(min_value=0, max_value=2**16),
+    y=st.integers(min_value=0, max_value=2**16),
+    z=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_spatial_hash_deterministic(x, y, z):
+    coords = np.array([[x, y, z]])
+    assert spatial_hash(coords, 4096)[0] == spatial_hash(coords, 4096)[0]
+
+
+# ---------------------------------------------------------------------------
+# Trilinear interpolation
+# ---------------------------------------------------------------------------
+@given(frac=arrays(np.float64, (10, 3), elements=st.floats(0.0, 1.0)))
+@settings(max_examples=50, deadline=None)
+def test_trilinear_weights_are_a_partition_of_unity(frac):
+    w = trilinear_weights(frac)
+    assert np.all(w >= -1e-12)
+    np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-9)
+
+
+@given(
+    frac=arrays(np.float64, (6, 3), elements=st.floats(0.0, 1.0)),
+    value=st.floats(min_value=-10.0, max_value=10.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_interpolating_constant_field_returns_constant(frac, value):
+    weights = trilinear_weights(frac)
+    corner_values = np.full((6, 8, 2), value)
+    out = interpolate(corner_values, weights)
+    np.testing.assert_allclose(out, value, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Volume rendering (Eq. 1)
+# ---------------------------------------------------------------------------
+@given(
+    sigmas=arrays(np.float64, (4, 6), elements=st.floats(0.0, 50.0)),
+    rgbs=arrays(np.float64, (4, 6, 3), elements=st.floats(0.0, 1.0)),
+)
+@settings(max_examples=40, deadline=None)
+def test_volume_rendering_output_bounded(sigmas, rgbs):
+    t_vals = np.tile(np.linspace(0.1, 1.0, 6), (4, 1))
+    deltas = np.full((4, 6), 0.15)
+    out = VolumeRenderer(white_background=True).forward(sigmas, rgbs, deltas, t_vals)
+    assert np.all(out.colors >= -1e-9)
+    assert np.all(out.colors <= 1.0 + 1e-9)
+    assert np.all(out.weights >= -1e-12)
+    assert np.all(out.accumulation <= 1.0 + 1e-9)
+
+
+@given(sigmas=arrays(np.float64, (3, 5), elements=st.floats(0.0, 20.0)))
+@settings(max_examples=40, deadline=None)
+def test_transmittance_is_monotone_non_increasing(sigmas):
+    rgbs = np.ones((3, 5, 3)) * 0.5
+    t_vals = np.tile(np.linspace(0.1, 1.0, 5), (3, 1))
+    deltas = np.full((3, 5), 0.2)
+    out = VolumeRenderer(white_background=False).forward(sigmas, rgbs, deltas, t_vals)
+    assert np.all(np.diff(out.transmittance, axis=1) <= 1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+@given(
+    pred=arrays(np.float64, (5, 3), elements=st.floats(0.0, 1.0)),
+    target=arrays(np.float64, (5, 3), elements=st.floats(0.0, 1.0)),
+)
+@settings(max_examples=50, deadline=None)
+def test_mse_loss_non_negative_and_zero_iff_equal(pred, target):
+    loss, grad = mse_loss(pred, target)
+    assert loss >= 0.0
+    assert grad.shape == pred.shape
+    loss_same, _ = mse_loss(pred, pred)
+    assert loss_same == 0.0
+
+
+@given(mse=st.floats(min_value=1e-9, max_value=1.0))
+@settings(max_examples=50, deadline=None)
+def test_psnr_monotone_in_mse(mse):
+    assert mse_to_psnr(mse) <= mse_to_psnr(mse / 2.0) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Update schedules
+# ---------------------------------------------------------------------------
+@given(
+    freq=st.floats(min_value=0.05, max_value=1.0),
+    n=st.integers(min_value=1, max_value=400),
+)
+@settings(max_examples=50, deadline=None)
+def test_schedule_update_count_matches_frequency(freq, n):
+    schedule = UpdateSchedule(freq)
+    updates = schedule.updates_in(n)
+    # floor((i+1)f) - floor(if) summed telescopes to floor(nf).
+    assert updates == int(np.floor(n * freq + 1e-9)) or updates == int(np.floor(n * freq))
+
+
+# ---------------------------------------------------------------------------
+# Accelerator components
+# ---------------------------------------------------------------------------
+@given(
+    addresses=arrays(np.int64, st.integers(1, 300),
+                     elements=st.integers(min_value=0, max_value=63)),
+    entries=st.integers(min_value=1, max_value=32),
+    timeout=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=50, deadline=None)
+def test_bum_write_count_bounds(addresses, entries, timeout):
+    result = BackPropUpdateMerger(n_entries=entries, timeout_cycles=timeout).process(addresses)
+    n_unique = len(np.unique(addresses))
+    assert n_unique <= result.n_sram_writes <= result.n_updates
+    assert result.n_merged == result.n_updates - result.n_sram_writes
+
+
+@given(
+    addresses=arrays(np.int64, st.integers(1, 200),
+                     elements=st.integers(min_value=0, max_value=1023)),
+    n_banks=st.sampled_from([4, 8, 16, 32]),
+)
+@settings(max_examples=50, deadline=None)
+def test_sram_batch_cycles_bounded_by_batch_size(addresses, n_banks):
+    sram = SRAMBankArray(n_banks=n_banks, table_entries=1024)
+    cycles = sram.cycles_for_batch(addresses)
+    assert 1 <= cycles <= addresses.size
