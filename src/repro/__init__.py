@@ -32,15 +32,18 @@ from repro.core import (
     Instant3DConfig,
 )
 from repro.training import (
+    FleetResult,
+    SceneFleet,
     Trainer,
     TrainingResult,
     WorkloadScale,
     build_iteration_workload,
     evaluate_model,
+    train_fleet,
     train_scene,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Instant3DConfig",
@@ -52,5 +55,8 @@ __all__ = [
     "evaluate_model",
     "WorkloadScale",
     "build_iteration_workload",
+    "FleetResult",
+    "SceneFleet",
+    "train_fleet",
     "__version__",
 ]

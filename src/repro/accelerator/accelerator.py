@@ -98,11 +98,14 @@ class Instant3DAccelerator:
                 branch_trace = trace.branch(branch)
                 fwd = self.grid_sim.simulate_forward(branch_trace, bytes_)
                 bwd = self.grid_sim.simulate_backward(branch_trace, bytes_)
+                # The backward rate is the backward phase's own access count
+                # (gradient reads + update writes, ``bwd.n_accesses``) per
+                # core cycle — the old numerator used the forward read count
+                # alone, which halved the measured rate while the workload's
+                # GRID_BACKWARD step counts both reads and writes.
                 rates[branch] = {
                     "forward_accesses_per_cycle": max(fwd.accesses_per_cycle, 1e-9),
-                    "backward_accesses_per_cycle": max(
-                        branch_trace.read_addresses.size / max(bwd.core_cycles, 1), 1e-9
-                    ),
+                    "backward_accesses_per_cycle": max(bwd.accesses_per_cycle, 1e-9),
                     "forward_result": fwd,
                     "backward_result": bwd,
                 }

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.grid.hash_encoding import HashGridConfig
 
@@ -55,8 +55,14 @@ class Instant3DConfig:
     batch_pixels: int = 256
     learning_rate: float = 1e-2
     white_background: bool = True
+    #: Upper bound on points per fused grid-query chunk (None = unchunked);
+    #: bounds the grid engine's transient working set for evaluation renders
+    #: and large batches (the per-query access trace still scales with N).
+    max_chunk_points: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.max_chunk_points is not None and self.max_chunk_points < 1:
+            raise ValueError("max_chunk_points must be >= 1 or None")
         if not (0.0 < self.color_size_ratio <= 8.0):
             raise ValueError("color_size_ratio must be in (0, 8]")
         for freq in (self.density_update_freq, self.color_update_freq):

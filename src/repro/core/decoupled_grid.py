@@ -31,11 +31,13 @@ class DecoupledGridEncoder:
             config.density_grid_config,
             rng=derive_rng(seed, "density_grid"),
             name="density_grid",
+            max_chunk_points=config.max_chunk_points,
         )
         self.color_grid = MultiResHashGrid(
             config.color_grid_config,
             rng=derive_rng(seed, "color_grid"),
             name="color_grid",
+            max_chunk_points=config.max_chunk_points,
         )
 
     # -- forward / backward -------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.grid.hash_function import dense_index, spatial_hash
+from repro.grid.hash_function import _MASK32, PI1, PI2, PI3, dense_index, spatial_hash
 from repro.grid.interpolation import (
     CORNER_OFFSETS,
     interpolate,
@@ -157,6 +157,73 @@ class GridAccessRecord:
         return int(sum(a.size for a in self.addresses))
 
 
+class _PlanesAccessRecord(GridAccessRecord):
+    """Access record backed by the fused engine's corner planes.
+
+    The fused engine stores *global* (level-offset) addresses in contiguous
+    ``(8, N, L)`` corner planes; the per-level local ``(N, 8)`` address
+    arrays of the :class:`GridAccessRecord` interface are materialised
+    lazily on first access, keeping trace bookkeeping off the query hot
+    path.  All derived views are value-identical to the per-level engine's
+    record.
+    """
+
+    def __init__(self, global_planes: np.ndarray, weight_planes: np.ndarray,
+                 level_offsets: List[int], table_sizes: List[int]):
+        # Deliberately does not call the dataclass __init__: the address and
+        # weight lists are exposed through lazy properties instead of fields.
+        self._global_planes = global_planes
+        self._weight_planes = weight_planes
+        self._level_offsets = list(level_offsets)
+        self._table_sizes = list(table_sizes)
+        self._local_addresses: Optional[List[np.ndarray]] = None
+        self._local_weights: Optional[List[np.ndarray]] = None
+
+    @property
+    def addresses(self) -> List[np.ndarray]:
+        if self._local_addresses is None:
+            self._local_addresses = [
+                self._global_planes[:, :, level].T - offset
+                for level, offset in enumerate(self._level_offsets)
+            ]
+        return self._local_addresses
+
+    @property
+    def weights(self) -> List[np.ndarray]:
+        if self._local_weights is None:
+            self._local_weights = [
+                self._weight_planes[:, :, level].T
+                for level in range(len(self._table_sizes))
+            ]
+        return self._local_weights
+
+    @property
+    def level_offsets(self) -> List[int]:
+        return self._level_offsets
+
+    @property
+    def table_sizes(self) -> List[int]:
+        return self._table_sizes
+
+    @property
+    def n_points(self) -> int:
+        return int(self._global_planes.shape[1])
+
+    @property
+    def n_levels(self) -> int:
+        return len(self._table_sizes)
+
+    def flat_addresses(self, level: Optional[int] = None) -> np.ndarray:
+        if level is not None:
+            return np.ascontiguousarray(
+                self._global_planes[:, :, level].T).reshape(-1)
+        parts = [self.flat_addresses(level) for level in range(self.n_levels)]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def total_accesses(self) -> int:
+        return int(self._global_planes.size)
+
+
 class HashGridLevel:
     """A single resolution level of the multiresolution hash grid."""
 
@@ -179,7 +246,9 @@ class HashGridLevel:
         """Map integer vertex coordinates of shape (..., 3) to table indices."""
         if self.is_dense:
             return dense_index(vertex_coords, self.resolution)
-        return spatial_hash(vertex_coords, self.table_size)
+        # Corners derive from points clipped to [0, 1]^3, so they are
+        # structurally non-negative; skip the hash's validation scan.
+        return spatial_hash(vertex_coords, self.table_size, validate=False)
 
     # -- forward / backward -------------------------------------------------
     def forward(self, points: np.ndarray):
@@ -224,6 +293,20 @@ class HashGridLevel:
 class MultiResHashGrid:
     """Multiresolution hash-grid encoder with access tracing.
 
+    Two query engines share one set of per-level tables:
+
+    * the **fused engine** (default) computes corner addresses and trilinear
+      weights for all ``L`` levels in one stacked ``(N, L, 8)`` pass, gathers
+      from a single concatenated feature table, and back-propagates with a
+      ``np.bincount``-based scatter over the touched addresses;
+    * the **per-level loop** walks :class:`HashGridLevel` objects one at a
+      time — the original reference path, kept switchable (``fused=False``)
+      for differential testing and the throughput benchmark.
+
+    Both engines produce the same embeddings and bit-identical
+    :class:`GridAccessRecord` traces, so the accelerator simulator and the
+    Figs. 8-10 analyses are unaffected by which engine ran.
+
     Parameters
     ----------
     config:
@@ -233,12 +316,29 @@ class MultiResHashGrid:
     name:
         Prefix for parameter names (useful when two grids coexist, e.g. the
         Instant-3D density and color grids).
+    fused:
+        Select the fused stacked-kernel engine (default) or the per-level
+        loop.  May be toggled at runtime via the ``fused`` attribute.
+    max_chunk_points:
+        When set, queries larger than this many points are processed in
+        chunks of at most ``max_chunk_points``, bounding the engine's
+        transient working set (per-axis lattices, hash products, gather and
+        accumulation buffers) and keeping each chunk's planes inside the
+        cache hierarchy.  The access-trace planes themselves (addresses and
+        weights, the same footprint the per-level engine's record has)
+        necessarily still scale with the batch size.  The concatenated
+        outputs and access record are identical to the unchunked query.
     """
 
     def __init__(self, config: HashGridConfig, rng: np.random.Generator,
-                 name: str = "grid"):
+                 name: str = "grid", fused: bool = True,
+                 max_chunk_points: Optional[int] = None):
+        if max_chunk_points is not None and max_chunk_points < 1:
+            raise ValueError("max_chunk_points must be >= 1 or None")
         self.config = config
         self.name = name
+        self.fused = bool(fused)
+        self.max_chunk_points = max_chunk_points
         self.levels: List[HashGridLevel] = []
         for level_idx in range(config.n_levels):
             self.levels.append(
@@ -250,8 +350,184 @@ class MultiResHashGrid:
                     name=f"{name}.level{level_idx}",
                 )
             )
+        # Per-level constants of the fused engine, precomputed as arrays so a
+        # query touches no Python-level per-level loop.
+        self._resolutions = np.array([l.resolution for l in self.levels],
+                                     dtype=np.float64)
+        self._max_base = np.array([l.resolution - 1 for l in self.levels],
+                                  dtype=np.int64)
+        sizes = np.array([l.table_size for l in self.levels], dtype=np.int64)
+        self._table_sizes_arr = sizes
+        self._offsets_arr = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(np.int64)
+        self._level_bounds = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+        dense_mask = np.array([l.is_dense for l in self.levels], dtype=bool)
+        self._dense_idx = np.flatnonzero(dense_mask)
+        self._hash_idx = np.flatnonzero(~dense_mask)
+        # Dense levels always form a prefix (level resolutions are
+        # nondecreasing while the table budget is constant); the fused
+        # engine's grouped level slices rely on that.
+        if self._dense_idx.size and int(self._dense_idx[-1]) != self._dense_idx.size - 1:
+            raise RuntimeError("dense levels must form a prefix of the level stack")
+        self._dense_strides = np.array(
+            [self.levels[i].resolution + 1 for i in self._dense_idx], dtype=np.int64)
+        hash_sizes = sizes[self._hash_idx]
+        self._hash_sizes_u64 = hash_sizes.astype(np.uint64)
+        self._hash_all_pow2 = bool(
+            ((hash_sizes & (hash_sizes - 1)) == 0).all()) if hash_sizes.size else True
+        # Reused concatenated-table buffer (refreshed each forward, since the
+        # optimiser mutates the per-level tables in place between queries).
+        self._table_cat = np.empty((int(self._level_bounds[-1]),
+                                    config.n_features_per_level), dtype=np.float32)
         self._last_access: Optional[GridAccessRecord] = None
         self._last_points: Optional[np.ndarray] = None
+        self._last_addr_planes: Optional[np.ndarray] = None
+        self._last_weight_planes: Optional[np.ndarray] = None
+
+    # -- fused engine internals ---------------------------------------------
+    #
+    # The fused engine works in a corner-major "plane" layout: addresses and
+    # weights live in contiguous ``(8, N, L)`` arrays, one plane per cube
+    # corner.  Every arithmetic pass then streams over a flat ``(N, L)``
+    # block — no ``(N, L, 8, 3)`` corner tensor is ever materialised — and
+    # the per-corner hash/weight products are shared across the four corners
+    # that reuse them (``h(x+dx) ^ h(y+dy)`` appears in two corners each).
+
+    #: Corner build order: (xy-pair index, z index) per corner, consistent
+    #: with :data:`~repro.grid.interpolation.CORNER_OFFSETS` (dx = bit 0,
+    #: dy = bit 1, dz = bit 2).
+    _CORNER_XY_Z = ((0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1), (3, 1))
+
+    def _concat_table(self) -> np.ndarray:
+        """Concatenate the per-level feature tables into one ``(T, F)`` array.
+
+        The destination buffer is owned by the grid and reused across calls;
+        only the copy (no allocation) happens per query.
+        """
+        np.concatenate([level.table.data for level in self.levels], axis=0,
+                       out=self._table_cat)
+        return self._table_cat
+
+    def _fused_query_into(self, points: np.ndarray, table: np.ndarray,
+                          addr_planes: np.ndarray, weight_planes: np.ndarray,
+                          out: np.ndarray) -> None:
+        """One stacked-kernel query: all levels of one point chunk at once.
+
+        Writes into caller-provided views: ``out`` is ``(N, L*F)`` float32
+        embeddings and the planes are ``(8, N, L)`` arrays holding, per cube
+        corner, the *global* (level-offset) table address (int64) and
+        trilinear weight (float64) of every (point, level) pair.  ``table``
+        is the concatenated feature table from :meth:`_concat_table`.
+        """
+        n = points.shape[0]
+        n_levels = len(self.levels)
+        n_dense = self._dense_idx.size
+        clipped = np.clip(points, 0.0, 1.0)
+        # Per-axis voxel base coordinates and fractional positions, (N, L).
+        base = []
+        frac = []
+        for axis in range(3):
+            scaled = clipped[:, axis:axis + 1] * self._resolutions[None, :]
+            # Truncation equals floor here because ``scaled >= 0``.
+            b = scaled.astype(np.int64)
+            np.minimum(b, self._max_base[None, :], out=b)
+            base.append(b)
+            frac.append(scaled - b)
+        bx, by, bz = base
+        fx, fy, fz = frac
+
+        if n_dense:
+            # Dense (collision-free) levels: linear index with x fastest;
+            # the level's global table offset is folded into the z term.
+            strides = self._dense_strides[None, :]
+            x0 = bx[:, :n_dense]
+            y0 = by[:, :n_dense] * strides
+            z0 = (bz[:, :n_dense] * (strides * strides)
+                  + self._offsets_arr[None, :n_dense])
+            x1 = x0 + 1
+            y1 = y0 + strides
+            z1 = z0 + strides * strides
+            xy = (x0 + y0, x1 + y0, x0 + y1, x1 + y1)
+            zs = (z0, z1)
+            for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
+                np.add(xy[xy_idx], zs[z_idx], out=addr_planes[corner, :, :n_dense])
+        if n_dense < n_levels:
+            # Hashed levels: per-axis products are shared across corners.
+            one = np.uint64(1)
+            hash_offsets = self._offsets_arr[None, n_dense:]
+            ux = bx[:, n_dense:].astype(np.uint64)
+            uy = by[:, n_dense:].astype(np.uint64)
+            uz = bz[:, n_dense:].astype(np.uint64)
+            hx0 = (ux * PI1) & _MASK32
+            hy0 = (uy * PI2) & _MASK32
+            hz0 = (uz * PI3) & _MASK32
+            hx1 = ((ux + one) * PI1) & _MASK32
+            hy1 = ((uy + one) * PI2) & _MASK32
+            hz1 = ((uz + one) * PI3) & _MASK32
+            xy = (hx0 ^ hy0, hx1 ^ hy0, hx0 ^ hy1, hx1 ^ hy1)
+            zs = (hz0, hz1)
+            sizes = self._hash_sizes_u64
+            h = np.empty((n, n_levels - n_dense), dtype=np.uint64)
+            if self._hash_all_pow2:
+                # ``& (T-1) == % T`` for power-of-two tables, and ``&``
+                # distributes over ``^``: mask the six shared products once
+                # instead of masking every corner's xor.
+                pow2_mask = (sizes - one)[None, :]
+                xy = tuple(v & pow2_mask for v in xy)
+                zs = tuple(v & pow2_mask for v in zs)
+                for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
+                    np.bitwise_xor(xy[xy_idx], zs[z_idx], out=h)
+                    np.add(h.view(np.int64), hash_offsets,
+                           out=addr_planes[corner, :, n_dense:])
+            else:
+                for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
+                    np.bitwise_xor(xy[xy_idx], zs[z_idx], out=h)
+                    h %= sizes[None, :]
+                    np.add(h.view(np.int64), hash_offsets,
+                           out=addr_planes[corner, :, n_dense:])
+
+        gx, gy, gz = 1.0 - fx, 1.0 - fy, 1.0 - fz
+        wxy = (gx * gy, fx * gy, gx * fy, fx * fy)
+        wzs = (gz, fz)
+        for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
+            np.multiply(wxy[xy_idx], wzs[z_idx], out=weight_planes[corner])
+
+        if self.config.n_features_per_level == 2:
+            # F == 2 fast path: each table row is one complex64, so a corner
+            # gather is a single flat take and the weighted accumulation runs
+            # on complex128 planes whose (real, imag) parts are the two
+            # features.  Multiplying by a real weight scales both features
+            # with the same float64 products as the generic path.
+            flat = table.view(np.complex64).ravel()
+            acc = np.empty((n, n_levels), dtype=np.complex128)
+            tmp = np.empty((n, n_levels), dtype=np.complex128)
+            gathered = np.empty((n, n_levels), dtype=np.complex64)
+            for corner in range(8):
+                # mode="clip" skips per-element bounds checks; addresses are
+                # in range by construction (hash mod / dense index + offset).
+                np.take(flat, addr_planes[corner], out=gathered, mode="clip")
+                if corner == 0:
+                    np.multiply(weight_planes[corner], gathered, out=acc)
+                else:
+                    np.multiply(weight_planes[corner], gathered, out=tmp)
+                    acc += tmp
+            out[...] = acc.view(np.float64).reshape(n, -1)
+        else:
+            acc = np.zeros((n, n_levels, self.config.n_features_per_level),
+                           dtype=np.float64)
+            for corner in range(8):
+                corner_values = np.take(table, addr_planes[corner], axis=0,
+                                        mode="clip")
+                acc += weight_planes[corner][:, :, None] * corner_values
+            out[...] = acc.reshape(n, -1)
+
+    def _record_from_planes(self, addr_planes: np.ndarray,
+                            weight_planes: np.ndarray) -> GridAccessRecord:
+        """Lazy access record over the global-address corner planes."""
+        return _PlanesAccessRecord(
+            addr_planes, weight_planes,
+            [int(offset) for offset in self._offsets_arr],
+            [int(size) for size in self._table_sizes_arr],
+        )
 
     # -- forward / backward -------------------------------------------------
     def forward(self, points: np.ndarray) -> np.ndarray:
@@ -259,6 +535,29 @@ class MultiResHashGrid:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 3:
             raise ValueError(f"points must have shape (N, 3), got {points.shape}")
+        if not self.fused:
+            return self._forward_loop(points)
+        n = points.shape[0]
+        n_levels = len(self.levels)
+        out = np.empty((n, self.config.n_output_features), dtype=np.float32)
+        addr_planes = np.empty((8, n, n_levels), dtype=np.int64)
+        weight_planes = np.empty((8, n, n_levels), dtype=np.float64)
+        table = self._concat_table()
+        chunk = self.max_chunk_points if self.max_chunk_points is not None else max(n, 1)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            self._fused_query_into(points[start:stop], table,
+                                   addr_planes[:, start:stop],
+                                   weight_planes[:, start:stop],
+                                   out[start:stop])
+        self._last_addr_planes = addr_planes
+        self._last_weight_planes = weight_planes
+        self._last_access = self._record_from_planes(addr_planes, weight_planes)
+        self._last_points = points
+        return out
+
+    def _forward_loop(self, points: np.ndarray) -> np.ndarray:
+        """Reference per-level query loop (the pre-fusion engine)."""
         record = GridAccessRecord()
         outputs = []
         offset = 0
@@ -270,6 +569,8 @@ class MultiResHashGrid:
             record.level_offsets.append(offset)
             record.table_sizes.append(level.table_size)
             offset += level.table_size
+        self._last_addr_planes = None
+        self._last_weight_planes = None
         self._last_access = record
         self._last_points = points
         return np.concatenate(outputs, axis=1)
@@ -288,6 +589,9 @@ class MultiResHashGrid:
             raise ValueError(
                 f"grad_embeddings shape {grad_embeddings.shape} does not match {expected}"
             )
+        if self.fused:
+            self._backward_fused(grad_embeddings)
+            return
         f = self.config.n_features_per_level
         for idx, level in enumerate(self.levels):
             grad_slice = grad_embeddings[:, idx * f:(idx + 1) * f]
@@ -296,6 +600,53 @@ class MultiResHashGrid:
                 self._last_access.addresses[idx],
                 self._last_access.weights[idx],
             )
+
+    def _backward_fused(self, grad_embeddings: np.ndarray) -> None:
+        """Fused scatter of embedding gradients into every level's table.
+
+        Per-corner gradients of all levels are accumulated with
+        ``np.bincount`` over global (level-offset) addresses — replacing the
+        per-level dense-zeros + ``np.add.at`` scatter — and only the touched
+        table rows receive float32 updates.  Chunks accumulate into one
+        float64 buffer, so chunked and unchunked backward passes agree.
+        """
+        addr_planes = self._last_addr_planes
+        weight_planes = self._last_weight_planes
+        if addr_planes is None or weight_planes is None:
+            # Forward ran on the per-level engine; rebuild the (global-
+            # address) corner planes from its record.
+            local = np.stack(self._last_access.addresses, axis=1)   # (N, L, 8)
+            addr_planes = np.ascontiguousarray(
+                np.moveaxis(local + np.asarray(self._last_access.level_offsets
+                                               )[None, :, None], 2, 0))
+            weight_planes = np.ascontiguousarray(
+                np.moveaxis(np.stack(self._last_access.weights, axis=1), 2, 0))
+        n = grad_embeddings.shape[0]
+        n_levels = len(self.levels)
+        f = self.config.n_features_per_level
+        total = int(self._level_bounds[-1])
+        grad3 = grad_embeddings.reshape(n, n_levels, f)
+        # The working set per corner is one (N, L) plane, so no chunking is
+        # needed here even for very large batches.
+        feature_grads = [np.ascontiguousarray(grad3[:, :, j]) for j in range(f)]
+        acc = np.zeros((f, total), dtype=np.float64)
+        contrib = np.empty((n, n_levels), dtype=np.float64)
+        for corner in range(8):
+            flat_addr = addr_planes[corner].ravel()
+            corner_weight = weight_planes[corner]
+            for j in range(f):
+                np.multiply(corner_weight, feature_grads[j], out=contrib)
+                acc[j] += np.bincount(flat_addr, weights=contrib.ravel(),
+                                      minlength=total)
+        acc = acc.T
+        touched = np.flatnonzero(np.any(acc != 0.0, axis=1))
+        bounds = np.searchsorted(touched, self._level_bounds)
+        for idx, level in enumerate(self.levels):
+            lo, hi = bounds[idx], bounds[idx + 1]
+            if lo == hi:
+                continue
+            rows = touched[lo:hi] - self._offsets_arr[idx]
+            level.table.grad[rows] += acc[touched[lo:hi]].astype(np.float32)
 
     # -- tracing / bookkeeping ------------------------------------------------
     @property

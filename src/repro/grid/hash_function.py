@@ -27,16 +27,23 @@ PI3 = np.uint64(805459861)
 _MASK32 = np.uint64(0xFFFFFFFF)
 
 
-def spatial_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
+def spatial_hash(coords: np.ndarray, table_size: int,
+                 validate: bool = True) -> np.ndarray:
     """Hash integer vertex coordinates into ``[0, table_size)``.
 
     Parameters
     ----------
     coords:
         Integer array of shape ``(..., 3)`` holding non-negative vertex
-        coordinates ``(x, y, z)``.
+        coordinates ``(x, y, z)``.  Negative coordinates are rejected: the
+        ``uint64`` cast would silently wrap them to huge positive values,
+        producing valid-looking but wrong table addresses.
     table_size:
         Number of entries ``T`` in the 1-D hash table.
+    validate:
+        Check for negative coordinates (default).  Callers that guarantee
+        non-negative inputs structurally (the grid engine clamps points to
+        the unit cube before deriving corners) may skip the scan.
 
     Returns
     -------
@@ -49,6 +56,13 @@ def spatial_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
     coords = np.asarray(coords)
     if coords.shape[-1] != 3:
         raise ValueError(f"coords must have a trailing dimension of 3, got {coords.shape}")
+    if validate and coords.size \
+            and not np.issubdtype(coords.dtype, np.unsignedinteger) \
+            and coords.min() < 0:
+        raise ValueError(
+            "spatial_hash requires non-negative vertex coordinates; negative "
+            "values would wrap through the uint64 cast to wrong addresses"
+        )
     c = coords.astype(np.uint64)
     x = (c[..., 0] * PI1) & _MASK32
     y = (c[..., 1] * PI2) & _MASK32

@@ -22,7 +22,10 @@ def stratified_samples(ray_bundle: RayBundle, n_samples: int,
     -------
     ``(t_vals, deltas)`` — both of shape ``(n_rays, n_samples)``.  ``deltas``
     are the inter-sample spacings ``t_{k+1} - t_k`` used by the volume
-    renderer, with the final delta closing the interval at ``far``.
+    renderer, with the final delta closing the interval at ``far``.  Every
+    delta (not just the last) is floored at ``1e-6``: jitter landing exactly
+    on adjacent bin edges can otherwise produce zero-width intervals, which
+    zero out the volume renderer's extinction terms.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
@@ -37,8 +40,8 @@ def stratified_samples(ray_bundle: RayBundle, n_samples: int,
         jitter = np.full((n_rays, n_samples), 0.5)
     t_vals = lower + jitter * width
     deltas = np.diff(t_vals, axis=1)
-    last_delta = np.maximum(far - t_vals[:, -1:], 1e-6)
-    deltas = np.concatenate([deltas, last_delta], axis=1)
+    last_delta = far - t_vals[:, -1:]
+    deltas = np.maximum(np.concatenate([deltas, last_delta], axis=1), 1e-6)
     return t_vals, deltas
 
 

@@ -8,6 +8,8 @@
 * :mod:`repro.training.trainer` — the actual optimisation loop used for the
   PSNR experiments (Tables 1, 2, 4 and Fig. 5).
 * :mod:`repro.training.metrics` — test-view evaluation of RGB and depth PSNR.
+* :mod:`repro.training.fleet` — multi-scene orchestration: round-robin or
+  process-pool training of many scenes under one shared configuration.
 """
 
 from repro.training.profiler import (
@@ -19,6 +21,7 @@ from repro.training.profiler import (
 )
 from repro.training.trainer import Trainer, TrainingHistory, TrainingResult, train_scene
 from repro.training.metrics import evaluate_model, EvaluationResult
+from repro.training.fleet import FleetResult, SceneFleet, train_fleet
 
 __all__ = [
     "PipelineStep",
@@ -32,4 +35,7 @@ __all__ = [
     "train_scene",
     "evaluate_model",
     "EvaluationResult",
+    "FleetResult",
+    "SceneFleet",
+    "train_fleet",
 ]

@@ -1,0 +1,234 @@
+"""Multi-scene training orchestration.
+
+The paper evaluates per-scene training, but the production north star is a
+service that keeps many scenes in flight at once (think one reconstruction
+job per connected AR/VR user).  :class:`SceneFleet` trains and evaluates a
+set of scenes under one shared configuration:
+
+* **round-robin scheduling** (in-process): every scene owns an independent
+  trainer and the fleet interleaves fixed-size slices of iterations across
+  scenes, so progress is balanced and any scene's intermediate state can be
+  inspected mid-run;
+* **optional multiprocessing workers**: with ``n_workers > 1`` whole scenes
+  are dispatched to a process pool instead.  Both schedules produce
+  bit-identical :class:`~repro.training.trainer.TrainingResult`s to running
+  :func:`~repro.training.trainer.train_scene` per scene with the same seed:
+  the trainer's pixel/sample streams are derived from the scene name (so
+  distinctly named scenes never share them), while model *initialisation*
+  depends on the seed alone and is therefore common to all scenes of a
+  fleet — exactly as it would be across solo ``train_scene(seed=s)`` calls.
+  If a pool cannot be spawned the fleet falls back to in-process execution.
+
+Results are aggregated into a :class:`FleetResult` with mean PSNRs and a
+scenes-per-hour throughput figure used by ``benchmarks/bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import Instant3DConfig
+from repro.core.model import DecoupledRadianceField
+from repro.datasets.dataset import SceneDataset
+from repro.training.trainer import (
+    Trainer,
+    TrainingHistory,
+    TrainingResult,
+    train_scene,
+)
+
+
+@dataclass
+class FleetResult:
+    """Aggregated outcome of one fleet run."""
+
+    scene_names: List[str]
+    results: List[TrainingResult]
+    wall_clock_s: float
+    n_workers: int
+    n_iterations: int
+    schedule: str = "round_robin"           # "round_robin" or "process_pool"
+
+    @property
+    def n_scenes(self) -> int:
+        return len(self.results)
+
+    @property
+    def mean_rgb_psnr(self) -> float:
+        return sum(r.rgb_psnr for r in self.results) / max(self.n_scenes, 1)
+
+    @property
+    def mean_depth_psnr(self) -> float:
+        return sum(r.depth_psnr for r in self.results) / max(self.n_scenes, 1)
+
+    @property
+    def scenes_per_hour(self) -> float:
+        """End-to-end fleet throughput (train + eval), scenes per hour."""
+        if self.wall_clock_s <= 0:
+            return float("inf")
+        return self.n_scenes * 3600.0 / self.wall_clock_s
+
+    def result_for(self, scene_name: str) -> TrainingResult:
+        return self.results[self.scene_names.index(scene_name)]
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary used by benchmark reports."""
+        return {
+            "n_scenes": float(self.n_scenes),
+            "n_iterations": float(self.n_iterations),
+            "mean_rgb_psnr": self.mean_rgb_psnr,
+            "mean_depth_psnr": self.mean_depth_psnr,
+            "wall_clock_s": self.wall_clock_s,
+            "scenes_per_hour": self.scenes_per_hour,
+        }
+
+
+@dataclass
+class _SceneJob:
+    """Picklable description of one scene's training run."""
+
+    dataset: SceneDataset
+    config: Instant3DConfig
+    n_iterations: int
+    seed: int
+    eval_every: Optional[int]
+    eval_views: int
+    eval_samples: int
+
+
+def _run_scene_job(job: _SceneJob) -> TrainingResult:
+    """Train one scene to completion (used by the process-pool path)."""
+    return train_scene(job.dataset, job.config, job.n_iterations, seed=job.seed,
+                       eval_every=job.eval_every, eval_views=job.eval_views,
+                       eval_samples=job.eval_samples)
+
+
+class SceneFleet:
+    """Trains and evaluates many scenes under one shared configuration.
+
+    Parameters
+    ----------
+    datasets:
+        Scene datasets to train on (one independent model per scene).
+    config:
+        Shared training configuration.
+    seed:
+        Base seed.  Training RNG streams are derived per scene name (model
+        initialisation is seed-only, shared across scenes), so results match
+        :func:`~repro.training.trainer.train_scene` run per scene with this
+        seed.
+    n_workers:
+        0 or 1 trains in-process with round-robin scheduling; larger values
+        dispatch whole scenes to a ``multiprocessing`` pool of that size.
+    slice_iterations:
+        Round-robin slice width: how many consecutive iterations one scene
+        runs before the scheduler moves to the next scene.
+    """
+
+    def __init__(self, datasets: Sequence[SceneDataset], config: Instant3DConfig,
+                 seed: int = 0, n_workers: int = 0, slice_iterations: int = 25):
+        if not datasets:
+            raise ValueError("SceneFleet needs at least one dataset")
+        if slice_iterations < 1:
+            raise ValueError("slice_iterations must be >= 1")
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self.datasets = list(datasets)
+        self.config = config
+        self.seed = seed
+        self.n_workers = n_workers
+        self.slice_iterations = slice_iterations
+
+    @property
+    def scene_names(self) -> List[str]:
+        return [dataset.name for dataset in self.datasets]
+
+    # -- scheduling strategies ----------------------------------------------
+    def _jobs(self, n_iterations: int, eval_every: Optional[int],
+              eval_views: int, eval_samples: int) -> List[_SceneJob]:
+        return [
+            _SceneJob(dataset=dataset, config=self.config,
+                      n_iterations=n_iterations, seed=self.seed,
+                      eval_every=eval_every, eval_views=eval_views,
+                      eval_samples=eval_samples)
+            for dataset in self.datasets
+        ]
+
+    def _train_round_robin(self, n_iterations: int, eval_every: Optional[int],
+                           eval_views: int, eval_samples: int) -> List[TrainingResult]:
+        """Interleave slices of iterations across all scenes' trainers."""
+        trainers = [
+            Trainer(DecoupledRadianceField(self.config, seed=self.seed),
+                    dataset, config=self.config, seed=self.seed)
+            for dataset in self.datasets
+        ]
+        histories = [TrainingHistory() for _ in trainers]
+        remaining = [n_iterations] * len(trainers)
+        while any(remaining):
+            for idx, trainer in enumerate(trainers):
+                if not remaining[idx]:
+                    continue
+                steps = min(self.slice_iterations, remaining[idx])
+                trainer.run_steps(steps, histories[idx], eval_every=eval_every,
+                                  eval_views=eval_views, eval_samples=eval_samples)
+                remaining[idx] -= steps
+        return [
+            trainer.finalize(history, eval_views=eval_views,
+                             eval_samples=eval_samples)
+            for trainer, history in zip(trainers, histories)
+        ]
+
+    def _train_process_pool(self, jobs: List[_SceneJob]) -> Optional[List[TrainingResult]]:
+        """Run whole scenes in a worker pool; None if the pool is unavailable."""
+        import multiprocessing
+
+        try:
+            pool = multiprocessing.Pool(processes=self.n_workers)
+        except (OSError, PermissionError, ImportError):
+            # Restricted environments (sandboxes, some CI runners) may not
+            # allow semaphores/forking; the caller falls back to in-process.
+            # Only pool *construction* is guarded — errors raised by the
+            # training jobs themselves must propagate, not trigger a silent
+            # retrain.
+            return None
+        with pool:
+            return pool.map(_run_scene_job, jobs)
+
+    # -- entry point ---------------------------------------------------------
+    def train(self, n_iterations: int, eval_every: Optional[int] = None,
+              eval_views: int = 1, eval_samples: int = 48) -> FleetResult:
+        """Train every scene for ``n_iterations`` and aggregate the results."""
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        start = time.perf_counter()
+        schedule = "round_robin"
+        results: Optional[List[TrainingResult]] = None
+        if self.n_workers > 1 and len(self.datasets) > 1:
+            results = self._train_process_pool(
+                self._jobs(n_iterations, eval_every, eval_views, eval_samples))
+            if results is not None:
+                schedule = "process_pool"
+        if results is None:
+            results = self._train_round_robin(n_iterations, eval_every,
+                                              eval_views, eval_samples)
+        wall = time.perf_counter() - start
+        return FleetResult(
+            scene_names=self.scene_names,
+            results=results,
+            wall_clock_s=wall,
+            n_workers=self.n_workers if schedule == "process_pool" else 0,
+            n_iterations=n_iterations,
+            schedule=schedule,
+        )
+
+
+def train_fleet(datasets: Sequence[SceneDataset], config: Instant3DConfig,
+                n_iterations: int, seed: int = 0, n_workers: int = 0,
+                eval_every: Optional[int] = None, eval_views: int = 1,
+                eval_samples: int = 48) -> FleetResult:
+    """Convenience helper mirroring :func:`~repro.training.trainer.train_scene`."""
+    fleet = SceneFleet(datasets, config, seed=seed, n_workers=n_workers)
+    return fleet.train(n_iterations, eval_every=eval_every,
+                       eval_views=eval_views, eval_samples=eval_samples)

@@ -244,7 +244,13 @@ def build_iteration_workload(config: Instant3DConfig,
             step=PipelineStep.GRID_BACKWARD,
             branch=branch,
             flops=interp_flops,
-            grid_accesses=accesses,
+            # Back-propagation touches each vertex twice — a gradient read
+            # plus an update write — matching the backward-phase access
+            # count (reads + writes) the grid-core simulator measures its
+            # accesses-per-cycle rate against.  ``grid_bytes`` stays
+            # per-direction: the energy model charges reads and writes
+            # separately from it.
+            grid_accesses=2.0 * accesses,
             grid_bytes=accesses * bytes_per_access,
             update_fraction=update_freq,  # backward skipped on non-update iterations
         ))

@@ -145,18 +145,17 @@ class Trainer:
         }
 
     # -- full run ---------------------------------------------------------------
-    def train(self, n_iterations: int, eval_every: Optional[int] = None,
-              eval_views: int = 1, eval_samples: int = 48) -> TrainingResult:
-        """Train for ``n_iterations`` and evaluate on the test split.
+    def run_steps(self, n_steps: int, history: TrainingHistory,
+                  eval_every: Optional[int] = None, eval_views: int = 1,
+                  eval_samples: int = 48) -> None:
+        """Run ``n_steps`` iterations, recording losses (and periodic
+        evaluations) into ``history``.
 
-        ``eval_every`` triggers intermediate evaluations (used by the Fig. 5
-        color-vs-density learning-pace analysis); the final evaluation always
-        runs.
+        Used both by :meth:`train` and by the fleet orchestrator's
+        round-robin scheduler, which interleaves slices of steps across
+        scenes while keeping each scene's trajectory identical to a solo run.
         """
-        if n_iterations < 1:
-            raise ValueError("n_iterations must be >= 1")
-        history = TrainingHistory()
-        for _ in range(n_iterations):
+        for _ in range(n_steps):
             metrics = self.train_step()
             history.record_step(self.iteration, metrics["loss"], metrics["batch_psnr"])
             if eval_every and self.iteration % eval_every == 0:
@@ -166,6 +165,10 @@ class Trainer:
                     white_background=self.config.white_background,
                 )
                 history.record_eval(self.iteration, result)
+
+    def finalize(self, history: TrainingHistory, eval_views: int = 1,
+                 eval_samples: int = 48) -> TrainingResult:
+        """Run the final test-split evaluation and package the result."""
         final_eval = evaluate_model(
             self.model, self.dataset, n_views=eval_views, n_samples=eval_samples,
             white_background=self.config.white_background,
@@ -178,11 +181,28 @@ class Trainer:
             color_updates=self.color_updates,
         )
 
+    def train(self, n_iterations: int, eval_every: Optional[int] = None,
+              eval_views: int = 1, eval_samples: int = 48) -> TrainingResult:
+        """Train for ``n_iterations`` and evaluate on the test split.
+
+        ``eval_every`` triggers intermediate evaluations (used by the Fig. 5
+        color-vs-density learning-pace analysis); the final evaluation always
+        runs.
+        """
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        history = TrainingHistory()
+        self.run_steps(n_iterations, history, eval_every=eval_every,
+                       eval_views=eval_views, eval_samples=eval_samples)
+        return self.finalize(history, eval_views=eval_views,
+                             eval_samples=eval_samples)
+
 
 def train_scene(dataset: SceneDataset, config: Instant3DConfig, n_iterations: int,
                 seed: int = 0, eval_every: Optional[int] = None,
-                eval_views: int = 1) -> TrainingResult:
+                eval_views: int = 1, eval_samples: int = 48) -> TrainingResult:
     """Convenience helper: build a model for ``config`` and train it on ``dataset``."""
     model = DecoupledRadianceField(config, seed=seed)
     trainer = Trainer(model, dataset, config=config, seed=seed)
-    return trainer.train(n_iterations, eval_every=eval_every, eval_views=eval_views)
+    return trainer.train(n_iterations, eval_every=eval_every, eval_views=eval_views,
+                         eval_samples=eval_samples)

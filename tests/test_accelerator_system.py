@@ -166,6 +166,57 @@ class TestEnergyAndArea:
             breakdown.total_j / 2.0)
 
 
+class TestBranchRates:
+    def test_backward_rate_uses_backward_phase_access_count(self, tiny_trace):
+        """Regression: the trace-driven backward rate divided the *forward*
+        read count by backward-phase cycles, halving the measured rate."""
+        acc = Instant3DAccelerator(AcceleratorConfig())
+        table_bytes = {name: 512 * 1024 for name in tiny_trace.branches}
+        rates = acc._branch_rates(tiny_trace, table_bytes)
+        for name, branch_rates in rates.items():
+            bwd = branch_rates["backward_result"]
+            assert bwd is not None
+            # The rate must be the backward phase's own accesses/cycle:
+            # gradient reads plus update writes over the phase's core cycles.
+            assert branch_rates["backward_accesses_per_cycle"] == pytest.approx(
+                bwd.n_accesses / max(bwd.core_cycles, 1))
+            trace_branch = tiny_trace.branch(name)
+            assert bwd.n_accesses == (trace_branch.read_addresses.size
+                                      + trace_branch.write_addresses.size)
+
+    def test_workload_backward_accesses_match_rate_units(self, paper_workloads):
+        """GRID_BACKWARD counts reads + writes (2x the forward reads), the
+        same unit the trace-measured backward rate is expressed in — so
+        scaled cycles reproduce the grid-core simulator's own cycle count."""
+        workload = paper_workloads["instant3d_acc"]
+        for branch in ("density", "color"):
+            fwd = [s for s in workload.branch_steps(branch)
+                   if s.step == PipelineStep.GRID_FORWARD][0]
+            bwd = [s for s in workload.branch_steps(branch)
+                   if s.step == PipelineStep.GRID_BACKWARD][0]
+            assert bwd.grid_accesses == 2.0 * fwd.grid_accesses
+            assert bwd.grid_bytes == fwd.grid_bytes    # bytes stay per-direction
+
+    def test_trace_driven_and_default_rates_are_consistent(self, paper_workloads,
+                                                           tiny_trace):
+        """Trace-driven and default-rate estimates describe the same machine:
+        with matched units they should agree within a small factor."""
+        acc = Instant3DAccelerator(AcceleratorConfig())
+        with_trace = acc.estimate_training(paper_workloads["instant3d_acc"],
+                                           trace=tiny_trace)
+        without_trace = acc.estimate_training(paper_workloads["instant3d_acc"],
+                                              trace=None)
+        ratio = with_trace.per_iteration_s / without_trace.per_iteration_s
+        assert 0.2 < ratio < 5.0
+        # Backward is no slower than forward per access once the BUM merges
+        # the update writes (the pre-fix estimate had it ~2x slower).
+        table_bytes = {name: 512 * 1024 for name in tiny_trace.branches}
+        rates = acc._branch_rates(tiny_trace, table_bytes)
+        for branch_rates in rates.values():
+            assert (branch_rates["backward_accesses_per_cycle"]
+                    > 0.5 * branch_rates["forward_accesses_per_cycle"])
+
+
 class TestInstant3DAccelerator:
     @pytest.fixture(scope="class")
     def full_estimate(self, paper_workloads, tiny_trace):

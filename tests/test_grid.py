@@ -55,6 +55,22 @@ class TestSpatialHash:
         with pytest.raises(ValueError):
             spatial_hash(np.zeros((1, 3), dtype=int), 0)
 
+    def test_negative_coordinates_rejected(self):
+        """Regression: negative coordinates used to wrap through the uint64
+        cast into valid-looking but wrong addresses."""
+        with pytest.raises(ValueError, match="non-negative"):
+            spatial_hash(np.array([[-1, 2, 3]]), 1024)
+        with pytest.raises(ValueError):
+            spatial_hash(np.array([[1, 2, 3], [4, -5, 6]]), 1024)
+        with pytest.raises(ValueError):
+            spatial_hash(np.array([[-1.0, 2.0, 3.0]]), 1024)   # float coords too
+
+    def test_validate_opt_out_for_structurally_safe_callers(self):
+        coords = np.array([[3, 5, 7]])
+        np.testing.assert_array_equal(
+            spatial_hash(coords, 997, validate=False), spatial_hash(coords, 997)
+        )
+
 
 class TestDenseIndex:
     def test_bijective_on_grid(self):
@@ -192,3 +208,141 @@ class TestMultiResHashGrid:
         grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(0))
         with pytest.raises(ValueError):
             grid.forward(np.zeros((3, 2)))
+
+
+def _boundary_points(rng, n_random=40):
+    """Query points including every exact-corner combination of 0.0 / 1.0."""
+    corners = np.array(
+        [[x, y, z] for x in (0.0, 1.0) for y in (0.0, 1.0) for z in (0.0, 1.0)]
+    )
+    edges = np.array([[0.0, 0.5, 1.0], [1.0, 0.0, 0.5], [0.5, 1.0, 0.0]])
+    return np.concatenate([corners, edges, rng.uniform(size=(n_random, 3))])
+
+
+class TestFusedEngine:
+    """The fused stacked-kernel engine vs the reference per-level loop."""
+
+    CONFIGS = {
+        "tiny": HashGridConfig(n_levels=4, n_features_per_level=2,
+                               log2_hashmap_size=10, base_resolution=4,
+                               finest_resolution=32),
+        # Non-power-of-two tables (size_scale != 1) take the modulo path.
+        "scaled": HashGridConfig(n_levels=5, n_features_per_level=2,
+                                 log2_hashmap_size=11, base_resolution=4,
+                                 finest_resolution=48, size_scale=0.25),
+        # F != 2 exercises the generic (non-complex) gather path.
+        "f3": HashGridConfig(n_levels=3, n_features_per_level=3,
+                             log2_hashmap_size=9, base_resolution=4,
+                             finest_resolution=16),
+    }
+
+    def _pair(self, config):
+        fused = MultiResHashGrid(config, rng=new_rng(7), fused=True)
+        loop = MultiResHashGrid(config, rng=new_rng(7), fused=False)
+        return fused, loop
+
+    @pytest.mark.parametrize("key", sorted(CONFIGS))
+    def test_forward_matches_loop(self, key):
+        config = self.CONFIGS[key]
+        fused, loop = self._pair(config)
+        points = _boundary_points(new_rng(8))
+        out_fused = fused.forward(points)
+        out_loop = loop.forward(points)
+        np.testing.assert_allclose(out_fused.astype(np.float64),
+                                   out_loop.astype(np.float64), atol=1e-10)
+
+    @pytest.mark.parametrize("key", sorted(CONFIGS))
+    def test_access_traces_bit_identical(self, key):
+        config = self.CONFIGS[key]
+        fused, loop = self._pair(config)
+        points = _boundary_points(new_rng(9))
+        fused.forward(points)
+        loop.forward(points)
+        rec_f, rec_l = fused.last_access, loop.last_access
+        assert rec_f.level_offsets == rec_l.level_offsets
+        assert rec_f.table_sizes == rec_l.table_sizes
+        np.testing.assert_array_equal(rec_f.flat_addresses(), rec_l.flat_addresses())
+        for level in range(config.n_levels):
+            np.testing.assert_array_equal(rec_f.addresses[level],
+                                          rec_l.addresses[level])
+            np.testing.assert_array_equal(rec_f.weights[level],
+                                          rec_l.weights[level])
+            np.testing.assert_array_equal(rec_f.flat_addresses(level),
+                                          rec_l.flat_addresses(level))
+
+    @pytest.mark.parametrize("key", sorted(CONFIGS))
+    def test_backward_matches_loop(self, key):
+        config = self.CONFIGS[key]
+        fused, loop = self._pair(config)
+        points = _boundary_points(new_rng(10))
+        out = fused.forward(points)
+        loop.forward(points)
+        grad = new_rng(11).normal(size=out.shape)
+        fused.backward(grad)
+        loop.backward(grad)
+        for lf, ll in zip(fused.levels, loop.levels):
+            np.testing.assert_allclose(lf.table.grad, ll.table.grad,
+                                       rtol=1e-5, atol=1e-7)
+
+    def test_chunked_query_identical_to_unchunked(self, tiny_grid_config):
+        whole = MultiResHashGrid(tiny_grid_config, rng=new_rng(3), fused=True)
+        chunked = MultiResHashGrid(tiny_grid_config, rng=new_rng(3), fused=True,
+                                   max_chunk_points=13)
+        points = _boundary_points(new_rng(12), n_random=60)
+        out_whole = whole.forward(points)
+        out_chunked = chunked.forward(points)
+        np.testing.assert_array_equal(out_whole, out_chunked)
+        np.testing.assert_array_equal(whole.last_access.flat_addresses(),
+                                      chunked.last_access.flat_addresses())
+        grad = new_rng(13).normal(size=out_whole.shape)
+        whole.backward(grad)
+        chunked.backward(grad)
+        for lw, lc in zip(whole.levels, chunked.levels):
+            np.testing.assert_array_equal(lw.table.grad, lc.table.grad)
+
+    def test_backward_after_loop_forward_uses_record(self, tiny_grid_config):
+        """Toggling engines mid-flight: fused backward after a loop forward."""
+        grid = MultiResHashGrid(tiny_grid_config, rng=new_rng(4), fused=False)
+        reference = MultiResHashGrid(tiny_grid_config, rng=new_rng(4), fused=False)
+        points = new_rng(14).uniform(size=(9, 3))
+        out = grid.forward(points)
+        reference.forward(points)
+        grid.fused = True            # backward falls back to the cached record
+        grad = np.ones_like(out)
+        grid.backward(grad)
+        reference.backward(grad)
+        for lg, lr in zip(grid.levels, reference.levels):
+            np.testing.assert_allclose(lg.table.grad, lr.table.grad,
+                                       rtol=1e-5, atol=1e-7)
+
+    def test_gradcheck_at_cube_boundaries(self):
+        """Finite-difference gradcheck with points exactly at 0.0 and 1.0."""
+        config = HashGridConfig(n_levels=1, n_features_per_level=2,
+                                log2_hashmap_size=8, base_resolution=4,
+                                finest_resolution=4)
+        grid = MultiResHashGrid(config, rng=new_rng(5), fused=True)
+        points = np.array([
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 1.0, 0.5],
+            [1.0, 0.3, 0.0],
+        ])
+        table = grid.levels[0].table
+
+        def loss_for_table(t):
+            saved = table.data.copy()
+            table.data = t.astype(np.float32)
+            out = grid.forward(points)
+            table.data = saved
+            return float(np.sum(out ** 2))
+
+        out = grid.forward(points)
+        grid.zero_grad()
+        grid.backward(2.0 * out)
+        numeric = numerical_gradient(loss_for_table, table.data.astype(np.float64))
+        np.testing.assert_allclose(grid.levels[0].table.grad, numeric,
+                                   rtol=2e-2, atol=2e-2)
+
+    def test_max_chunk_points_validation(self, tiny_grid_config):
+        with pytest.raises(ValueError):
+            MultiResHashGrid(tiny_grid_config, rng=new_rng(0), max_chunk_points=0)

@@ -122,6 +122,38 @@ class TestStratifiedSamples:
         assert np.all(unit >= 0.0) and np.all(unit <= 1.0)
         np.testing.assert_allclose(unit[0], [0.0, 0.5, 1.0])
 
+    def test_interior_deltas_floored_when_jitter_hits_bin_edges(self):
+        """Regression: jitter landing on adjacent bin edges used to emit
+        zero-width interior deltas (only the last delta was floored)."""
+
+        class _EdgeJitter:
+            def uniform(self, low, high, size):
+                jitter = np.zeros(size)
+                jitter[:, 0::2] = 1.0     # bin k at its upper edge,
+                return jitter             # bin k+1 at its lower edge
+
+        bundle = _camera().all_rays()
+        t_vals, deltas = stratified_samples(bundle, 6, rng=_EdgeJitter())
+        raw = np.diff(t_vals, axis=1)
+        assert np.any(raw == 0.0)         # the degenerate case actually occurs
+        assert np.all(deltas >= 1e-6)
+
+    def test_single_sample_per_ray(self):
+        bundle = _camera().all_rays()
+
+        class _FarEdgeJitter:
+            def uniform(self, low, high, size):
+                return np.ones(size)      # sample lands exactly on ``far``
+
+        t_vals, deltas = stratified_samples(bundle, 1, rng=_FarEdgeJitter())
+        assert t_vals.shape == (bundle.n_rays, 1)
+        assert deltas.shape == (bundle.n_rays, 1)
+        np.testing.assert_allclose(t_vals[:, 0], bundle.far)
+        np.testing.assert_allclose(deltas, 1e-6)
+        # Deterministic midpoint variant stays positive as well.
+        _, mid_deltas = stratified_samples(bundle, 1, rng=None)
+        assert np.all(mid_deltas > 0.0)
+
 
 class TestVolumeRenderer:
     def _random_inputs(self, n_rays=4, n_samples=8, seed=0):
