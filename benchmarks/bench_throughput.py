@@ -1,16 +1,22 @@
-"""Throughput benchmark: fused grid engine and multi-scene fleet.
+"""Throughput benchmark: fused grid engine, culled pipeline and fleet.
 
-Two measurements back the engine layer introduced with the fused refactor:
+Three measurements back the engine and pipeline layers:
 
 1. **Grid engine** — forward + backward points/sec of the fused stacked-kernel
    engine versus the original per-level loop on a 65k-point batch, with a
    differential check that the two engines produce identical outputs
    (<= 1e-10), identical access traces and matching table gradients.
-2. **Fleet** — scenes/hour of :class:`repro.training.SceneFleet` on a small
+2. **Dense vs culled training** — the occupancy-culled
+   :class:`~repro.nerf.pipeline.RenderPipeline` against the dense path on a
+   synthetic scene: embedding/MLP queries per iteration (after occupancy
+   warm-up), end-to-end points/sec, wall-clock speedup and PSNR parity, plus
+   a differential check that ``culling_enabled=False`` still reproduces the
+   pre-pipeline trainer's losses exactly.
+3. **Fleet** — scenes/hour of :class:`repro.training.SceneFleet` on a small
    suite of procedural scenes (train + eval, end to end).
 
 Results are printed and written to ``BENCH_throughput.json`` next to the
-repository root.  ``--smoke`` shrinks both measurements for CI (< 30 s).
+repository root.  ``--smoke`` shrinks all measurements for CI (< 30 s).
 
 Run with:  PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
 """
@@ -18,16 +24,25 @@ Run with:  PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.model import DecoupledRadianceField
+from repro.core.schedule import BranchSchedules
 from repro.datasets import nerf_synthetic_like
 from repro.grid.hash_encoding import HashGridConfig, MultiResHashGrid
+from repro.nerf.cameras import sample_pixel_batch
+from repro.nerf.losses import mse_loss
+from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
+from repro.nerf.volume_rendering import VolumeRenderer
+from repro.nn.optim import Adam
 from repro.training.fleet import SceneFleet
-from repro.utils.seeding import new_rng
+from repro.training.trainer import Trainer, TrainingHistory
+from repro.utils.seeding import derive_rng, new_rng
 
 try:
     from benchmarks.common import bench_config, print_report
@@ -131,6 +146,128 @@ def bench_grid_engine(n_points: int, repeats: int) -> dict:
     }
 
 
+def _reference_dense_losses(dataset, config, seed: int, n_steps: int) -> list:
+    """Losses of the pre-pipeline six-step loop (verbatim reference).
+
+    Kept as the differential baseline for the ``culling_enabled=False``
+    path, the same way the grid engine keeps its per-level loop.  A frozen
+    twin of this oracle lives in ``tests/test_pipeline.py``
+    (``_reference_dense_run``); neither copy should ever change.
+    """
+    model = DecoupledRadianceField(config, seed=seed)
+    schedules = BranchSchedules.from_frequencies(
+        config.density_update_freq, config.color_update_freq)
+    renderer = VolumeRenderer(white_background=config.white_background)
+    density_opt = Adam(model.density_parameters(), lr=config.learning_rate)
+    color_opt = Adam(model.color_parameters(), lr=config.learning_rate)
+    pixel_rng = derive_rng(seed, f"{dataset.name}:pixels")
+    sample_rng = derive_rng(seed, f"{dataset.name}:samples")
+    losses = []
+    for iteration in range(n_steps):
+        update_density, update_color = schedules.updates_at(iteration)
+        bundle, targets = sample_pixel_batch(
+            dataset.train_cameras, dataset.train_images,
+            config.batch_pixels, pixel_rng)
+        t_vals, deltas = stratified_samples(bundle, config.n_samples_per_ray,
+                                            rng=sample_rng)
+        points, dirs = ray_points(bundle, t_vals)
+        points_unit = normalize_points_to_unit_cube(points, dataset.scene_bound)
+        sigma, rgb = model.query(points_unit, dirs)
+        n_rays, n_samples = bundle.n_rays, config.n_samples_per_ray
+        render = renderer.forward(sigma.reshape(n_rays, n_samples),
+                                  rgb.reshape(n_rays, n_samples, 3),
+                                  deltas, t_vals)
+        loss, grad_colors = mse_loss(render.colors, targets)
+        grad_sigmas, grad_rgbs = renderer.backward(grad_colors)
+        model.zero_grad()
+        model.backward(grad_sigmas.reshape(-1), grad_rgbs.reshape(-1, 3),
+                       update_density=update_density, update_color=update_color)
+        if update_density:
+            density_opt.step()
+        if update_color:
+            color_opt.step()
+        losses.append(loss)
+    return losses
+
+
+def _timed_training_run(dataset, config, n_iterations: int, seed: int = 0):
+    """Train one scene step-by-step; returns (history, result, train_seconds)."""
+    model = DecoupledRadianceField(config, seed=seed)
+    trainer = Trainer(model, dataset, config=config, seed=seed)
+    history = TrainingHistory()
+    start = time.perf_counter()
+    trainer.run_steps(n_iterations, history)
+    train_s = time.perf_counter() - start
+    return history, trainer.finalize(history, eval_views=1, eval_samples=24), train_s
+
+
+def bench_dense_vs_culled(n_iterations: int, image_size: int,
+                          reference_steps: int = 10) -> dict:
+    """Dense vs occupancy-culled training on one synthetic scene."""
+    dataset = nerf_synthetic_like(["lego"], n_train_views=6, n_test_views=1,
+                                  image_size=image_size)[0]
+    dense_config = bench_config(0.25, 0.5)
+    culled_config = dataclasses.replace(
+        dense_config, culling_enabled=True, early_termination_tau=1e-3)
+
+    # Differential check: the dense pipeline path must still reproduce the
+    # pre-pipeline trainer's loss trajectory exactly.
+    reference = _reference_dense_losses(dataset, dense_config, 0, reference_steps)
+    probe_model = DecoupledRadianceField(dense_config, seed=0)
+    probe = Trainer(probe_model, dataset, config=dense_config, seed=0)
+    pipeline_losses = [probe.train_step()["loss"] for _ in range(reference_steps)]
+    dense_matches_reference = pipeline_losses == reference
+    if not dense_matches_reference:
+        raise AssertionError("dense pipeline path deviates from the reference trainer")
+
+    dense_hist, dense_result, dense_s = _timed_training_run(
+        dataset, dense_config, n_iterations)
+    culled_hist, culled_result, culled_s = _timed_training_run(
+        dataset, culled_config, n_iterations)
+
+    # Queries/iteration after occupancy warm-up (last quarter of the run).
+    # The culled figure is charged for the occupancy refresh's own
+    # density-branch probes (amortised per iteration), so the reduction is
+    # net of the maintenance overhead, not just the batch savings.
+    tail = max(1, n_iterations // 4)
+    dense_tail = float(np.mean(dense_hist.queries_kept[-tail:]))
+    culled_tail = float(np.mean(culled_hist.queries_kept[-tail:]))
+    refresh_per_iter = culled_result.occupancy_refresh_points / n_iterations
+    culled_incl_refresh = culled_tail + refresh_per_iter
+    return {
+        "n_iterations": n_iterations,
+        "image_size": image_size,
+        "dense_matches_reference": dense_matches_reference,
+        "queries_per_iter_dense": dense_tail,
+        "queries_per_iter_culled": culled_tail,
+        "refresh_queries_per_iter": refresh_per_iter,
+        "queries_per_iter_culled_incl_refresh": culled_incl_refresh,
+        "queries_reduction": dense_tail / max(culled_incl_refresh, 1.0),
+        "batch_queries_reduction": dense_tail / max(culled_tail, 1.0),
+        "keep_fraction_tail": culled_hist.mean_keep_fraction(tail),
+        "occupancy_fraction": culled_result.final_occupancy_fraction,
+        # rays/s is the comparable work unit (both runs march the same rays);
+        # points/s divides each run's *own* field queries by its time, so the
+        # culled figure is naturally lower — less work per ray, on purpose.
+        "dense": {
+            "train_s": dense_s,
+            "iters_per_s": n_iterations / max(dense_s, 1e-9),
+            "rays_per_s": n_iterations * dense_config.batch_pixels / max(dense_s, 1e-9),
+            "points_per_s": dense_result.queries_kept / max(dense_s, 1e-9),
+            "rgb_psnr": dense_result.rgb_psnr,
+        },
+        "culled": {
+            "train_s": culled_s,
+            "iters_per_s": n_iterations / max(culled_s, 1e-9),
+            "rays_per_s": n_iterations * dense_config.batch_pixels / max(culled_s, 1e-9),
+            "points_per_s": culled_result.queries_kept / max(culled_s, 1e-9),
+            "rgb_psnr": culled_result.rgb_psnr,
+        },
+        "train_speedup": dense_s / max(culled_s, 1e-9),
+        "psnr_gap_db": culled_result.rgb_psnr - dense_result.rgb_psnr,
+    }
+
+
 def bench_fleet(n_scenes: int, n_iterations: int, image_size: int,
                 n_workers: int) -> dict:
     """Measure SceneFleet end-to-end throughput (train + eval)."""
@@ -160,9 +297,11 @@ def main() -> None:
     if args.smoke:
         engine_points, repeats = 16384, 2
         fleet_scenes, fleet_iterations, fleet_image = 2, 20, 20
+        culling_iterations, culling_image = 120, 20
     else:
         engine_points, repeats = ENGINE_BATCH, 9
         fleet_scenes, fleet_iterations, fleet_image = 3, 80, 28
+        culling_iterations, culling_image = 150, 28
 
     engine = bench_grid_engine(engine_points, repeats)
     rows = []
@@ -180,6 +319,31 @@ def main() -> None:
           f"grad max |diff|: {engine['grad_max_abs_diff']:.2e}   "
           f"traces identical: {engine['traces_identical']}")
 
+    culling = bench_dense_vs_culled(culling_iterations, culling_image)
+    print_report(
+        f"Dense vs occupancy-culled training ({culling['n_iterations']} iters, "
+        f"lego {culling['image_size']}px)",
+        ["pipeline", "queries/iter", "train (s)", "rays/s", "RGB PSNR"],
+        [
+            ["dense", f"{culling['queries_per_iter_dense']:.0f}",
+             f"{culling['dense']['train_s']:.1f}",
+             f"{culling['dense']['rays_per_s'] / 1e3:.1f}k",
+             f"{culling['dense']['rgb_psnr']:.2f}"],
+            ["culled (+refresh)",
+             f"{culling['queries_per_iter_culled']:.0f} "
+             f"(+{culling['refresh_queries_per_iter']:.0f})",
+             f"{culling['culled']['train_s']:.1f}",
+             f"{culling['culled']['rays_per_s'] / 1e3:.1f}k",
+             f"{culling['culled']['rgb_psnr']:.2f}"],
+            ["net reduction / speedup", f"{culling['queries_reduction']:.1f}x",
+             f"{culling['train_speedup']:.2f}x", "",
+             f"{culling['psnr_gap_db']:+.2f} dB"],
+        ],
+    )
+    print(f"dense matches reference trainer: {culling['dense_matches_reference']}   "
+          f"occupancy fraction: {culling['occupancy_fraction']:.3f}   "
+          f"keep fraction (tail): {culling['keep_fraction_tail']:.3f}")
+
     fleet = bench_fleet(fleet_scenes, fleet_iterations, fleet_image, args.workers)
     print_report(
         f"SceneFleet throughput ({fleet['schedule']})",
@@ -189,7 +353,7 @@ def main() -> None:
           f"{fleet['scenes_per_hour']:.1f}"]],
     )
 
-    payload = {"engine": engine, "fleet": fleet,
+    payload = {"engine": engine, "culling": culling, "fleet": fleet,
                "smoke": bool(args.smoke)}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nWrote {args.output}")

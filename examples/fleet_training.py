@@ -1,12 +1,14 @@
 """Train a fleet of scenes with the multi-scene orchestrator.
 
-Demonstrates the engine-layer API introduced with the fused grid refactor:
+Demonstrates the engine and pipeline layers:
 
 1. build several procedural scene datasets;
 2. train them all under one shared Instant-3D configuration with
    :class:`repro.training.SceneFleet` — round-robin in-process scheduling,
    or a ``multiprocessing`` pool with ``--workers N``;
-3. report per-scene PSNR and fleet throughput (scenes/hour).
+3. train the same fleet again through the occupancy-culled
+   :class:`~repro.nerf.pipeline.RenderPipeline` (``culling_enabled=True``)
+   and compare scenes/hour, per-scene occupancy fraction and PSNR parity.
 
 Run with:  PYTHONPATH=src python examples/fleet_training.py [--workers N]
 """
@@ -14,10 +16,29 @@ Run with:  PYTHONPATH=src python examples/fleet_training.py [--workers N]
 from __future__ import annotations
 
 import argparse
+import dataclasses
 
 from repro import Instant3DConfig, SceneFleet
 from repro.datasets import nerf_synthetic_like
 from repro.grid.hash_encoding import HashGridConfig
+
+
+def run_fleet(datasets, config, label: str, n_iterations: int, n_workers: int):
+    fleet = SceneFleet(datasets, config, seed=0, n_workers=n_workers)
+    print(f"Training {len(datasets)} scenes x {n_iterations} iterations "
+          f"[{label}] ({'process pool' if n_workers > 1 else 'round-robin'})...")
+    result = fleet.train(n_iterations, eval_views=1)
+    print(f"  schedule: {result.schedule}   wall-clock: {result.wall_clock_s:.1f}s   "
+          f"throughput: {result.scenes_per_hour:.1f} scenes/hour")
+    for name, scene_result in zip(result.scene_names, result.results):
+        occupancy = scene_result.final_occupancy_fraction
+        kept = scene_result.queries_kept / max(scene_result.queries_total, 1)
+        print(f"    {name:8s} RGB PSNR {scene_result.rgb_psnr:6.2f} dB | "
+              f"depth PSNR {scene_result.depth_psnr:6.2f} dB | "
+              f"occupancy {occupancy:5.1%} | samples queried {kept:5.1%} | "
+              f"{scene_result.density_updates} density / "
+              f"{scene_result.color_updates} color updates")
+    return result
 
 
 def main() -> None:
@@ -25,6 +46,8 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=0,
                         help="process-pool size (0 = in-process round-robin)")
     parser.add_argument("--iterations", type=int, default=120)
+    parser.add_argument("--dense-only", action="store_true",
+                        help="skip the occupancy-culled comparison run")
     args = parser.parse_args()
 
     scene_names = ["lego", "ficus", "chair"]
@@ -35,25 +58,32 @@ def main() -> None:
     grid = HashGridConfig(n_levels=6, n_features_per_level=2,
                           log2_hashmap_size=12, base_resolution=8,
                           finest_resolution=96)
-    config = Instant3DConfig.instant_3d(
+    dense_config = Instant3DConfig.instant_3d(
         grid=grid, batch_pixels=192, n_samples_per_ray=24,
         mlp_hidden_width=32, mlp_hidden_layers=2,
         max_chunk_points=16384,        # bounded-memory fused grid queries
     )
 
-    fleet = SceneFleet(datasets, config, seed=0, n_workers=args.workers)
-    print(f"Training {len(datasets)} scenes x {args.iterations} iterations "
-          f"({'process pool' if args.workers > 1 else 'round-robin'})...")
-    result = fleet.train(args.iterations, eval_views=1)
+    dense = run_fleet(datasets, dense_config, "dense", args.iterations, args.workers)
+    print(f"  fleet mean RGB PSNR: {dense.mean_rgb_psnr:.2f} dB")
+    if args.dense_only:
+        return
 
-    print(f"\nschedule: {result.schedule}   wall-clock: {result.wall_clock_s:.1f}s   "
-          f"throughput: {result.scenes_per_hour:.1f} scenes/hour")
-    for name, scene_result in zip(result.scene_names, result.results):
-        print(f"  {name:8s} RGB PSNR {scene_result.rgb_psnr:6.2f} dB | "
-              f"depth PSNR {scene_result.depth_psnr:6.2f} dB | "
-              f"{scene_result.density_updates} density / "
-              f"{scene_result.color_updates} color updates")
-    print(f"\nfleet mean RGB PSNR: {result.mean_rgb_psnr:.2f} dB")
+    culled_config = dataclasses.replace(
+        dense_config,
+        culling_enabled=True,          # occupancy-culled sample compaction
+        early_termination_tau=1e-3,    # early ray termination in eval renders
+    )
+    culled = run_fleet(datasets, culled_config, "culled", args.iterations,
+                       args.workers)
+    print(f"  fleet mean RGB PSNR: {culled.mean_rgb_psnr:.2f} dB")
+
+    speedup = culled.scenes_per_hour / max(dense.scenes_per_hour, 1e-9)
+    print(f"\nculling: {speedup:.2f}x scenes/hour "
+          f"({dense.scenes_per_hour:.1f} -> {culled.scenes_per_hour:.1f}), "
+          f"samples queried {culled.mean_keep_fraction:.1%} of dense, "
+          f"mean occupancy {culled.mean_occupancy_fraction:.1%}, "
+          f"PSNR gap {culled.mean_rgb_psnr - dense.mean_rgb_psnr:+.2f} dB")
 
 
 if __name__ == "__main__":

@@ -38,12 +38,13 @@ from repro.training import (
     TrainingResult,
     WorkloadScale,
     build_iteration_workload,
+    profile_iteration,
     evaluate_model,
     train_fleet,
     train_scene,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Instant3DConfig",
@@ -55,6 +56,7 @@ __all__ = [
     "evaluate_model",
     "WorkloadScale",
     "build_iteration_workload",
+    "profile_iteration",
     "FleetResult",
     "SceneFleet",
     "train_fleet",

@@ -96,6 +96,21 @@ class DecoupledRadianceField:
         )
         return sigma, rgb
 
+    def query_density(self, points_unit: np.ndarray) -> np.ndarray:
+        """Evaluate ``sigma`` alone for points in ``[0, 1]^3``.
+
+        Used by the occupancy grid's periodic refresh (only the density
+        branch matters for culling) — roughly half the work of a full
+        :meth:`query`.  It reuses the density branch's forward buffers, so it
+        must not be called between a :meth:`query` and its :meth:`backward`.
+        """
+        points_unit = np.asarray(points_unit, dtype=np.float64)
+        if points_unit.ndim != 2 or points_unit.shape[-1] != 3:
+            raise ValueError("points_unit must have shape (N, 3)")
+        density_emb = self.encoder.encode_density(points_unit)
+        raw_sigma = self.density_mlp.forward(density_emb)
+        return self.density_activation.forward(raw_sigma)[:, 0]
+
     # -- backward -----------------------------------------------------------------
     def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray,
                  update_density: bool = True, update_color: bool = True) -> None:

@@ -12,6 +12,11 @@ pipeline described in Sec. 2.1 of the paper (Step ❸ — querying point feature
 ❹ volume rendering   → :class:`~repro.nerf.volume_rendering.VolumeRenderer` (Eq. 1)
 ❺ reconstruction loss→ :func:`~repro.nerf.losses.mse_loss` (Eq. 2),
                         :func:`~repro.nerf.losses.psnr`
+
+:class:`~repro.nerf.pipeline.RenderPipeline` composes ❷–❹ into the
+occupancy-culled ray lifecycle (sample compaction via
+:class:`~repro.nerf.occupancy.OccupancyGrid`, optional early ray
+termination) that the trainer, evaluators and fleet route through.
 """
 
 from repro.nerf.cameras import PinholeCamera, RayBundle, sample_pixel_batch
@@ -20,6 +25,7 @@ from repro.nerf.volume_rendering import VolumeRenderer, RenderOutput
 from repro.nerf.losses import mse_loss, psnr, mse_to_psnr
 from repro.nerf.encoding import positional_encoding, spherical_harmonics_encoding
 from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.pipeline import PipelineRender, RenderPipeline
 from repro.nerf.vanilla import VanillaNeRF, VanillaNeRFConfig
 
 __all__ = [
@@ -36,6 +42,8 @@ __all__ = [
     "positional_encoding",
     "spherical_harmonics_encoding",
     "OccupancyGrid",
+    "RenderPipeline",
+    "PipelineRender",
     "VanillaNeRF",
     "VanillaNeRFConfig",
 ]

@@ -10,24 +10,31 @@ implements that mechanism for the reproduction:
   averaged density estimates with a binary occupancy view;
 * periodic updates from the radiance field's own density predictions;
 * :meth:`OccupancyGrid.filter_samples` — masks out ray samples in empty
-  cells so the trainer (or an example) can skip querying them.
+  cells so callers can skip querying them.
 
-It is an optional component: the default trainer samples densely (correct,
-just slower), and the quickstart-level tests exercise both paths.
+The grid is wired into the training stack through
+:class:`~repro.nerf.pipeline.RenderPipeline`: with
+``Instant3DConfig(culling_enabled=True)`` the trainer refreshes the grid from
+the density branch on the Instant-NGP schedule and every batch's samples are
+*compacted* (only occupied-cell samples reach the radiance field, forward and
+backward).  The dense path remains the default (``culling_enabled=False``)
+and is kept bit-identical for differential testing.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
+
+from repro.utils.seeding import derive_rng
 
 
 class OccupancyGrid:
     """A coarse occupancy grid over the unit cube used to prune empty samples."""
 
     def __init__(self, resolution: int = 32, decay: float = 0.95,
-                 occupancy_threshold: float = 0.01):
+                 occupancy_threshold: float = 0.01, seed: int = 0):
         if resolution < 2:
             raise ValueError("resolution must be >= 2")
         if not (0.0 < decay < 1.0):
@@ -38,6 +45,11 @@ class OccupancyGrid:
         self.decay = float(decay)
         self.occupancy_threshold = float(occupancy_threshold)
         self.density = np.zeros((resolution,) * 3, dtype=np.float32)
+        # One generator for the grid's whole lifetime: successive updates
+        # probe fresh point sets (the state advances), and the sequence is a
+        # pure function of the constructor seed rather than of how many
+        # updates happened before a restart.
+        self._rng = derive_rng(seed, "occupancy.update-points")
         self._updates = 0
 
     # -- indexing -----------------------------------------------------------------
@@ -49,14 +61,16 @@ class OccupancyGrid:
 
     # -- updates --------------------------------------------------------------------
     def update(self, query_fn: Callable[[np.ndarray], np.ndarray],
-               n_samples: int = 4096, rng: np.random.Generator | None = None) -> None:
+               n_samples: int = 4096, rng: Optional[np.random.Generator] = None) -> None:
         """Refresh the grid from the radiance field's current density estimates.
 
         ``query_fn`` maps ``(N, 3)`` unit-cube points to ``(N,)`` densities
-        (e.g. a closure over the model's density branch).  Cells are updated
-        with an exponential moving maximum, mirroring Instant-NGP's schedule.
+        (e.g. the model's :meth:`~repro.core.model.DecoupledRadianceField.query_density`).
+        Cells are updated with an exponential moving maximum, mirroring
+        Instant-NGP's schedule.  Without an explicit ``rng`` the grid's own
+        seeded generator is used, so repeated updates probe fresh point sets.
         """
-        rng = rng if rng is not None else np.random.default_rng(self._updates)
+        rng = rng if rng is not None else self._rng
         points = rng.uniform(0.0, 1.0, size=(n_samples, 3))
         densities = np.asarray(query_fn(points), dtype=np.float32).reshape(-1)
         if densities.shape[0] != n_samples:
@@ -72,6 +86,11 @@ class OccupancyGrid:
         np.maximum.at(self.density, (ix, iy, iz), np.float32(density))
 
     # -- queries ----------------------------------------------------------------------
+    @property
+    def n_updates(self) -> int:
+        """How many times the grid has been refreshed (0 = keeps everything)."""
+        return self._updates
+
     @property
     def occupancy(self) -> np.ndarray:
         """Binary occupancy view of the grid."""
@@ -91,14 +110,23 @@ class OccupancyGrid:
         """Mask of samples worth querying (True = keep).
 
         Before the first update every sample is kept, so training is correct
-        even if the caller never refreshes the grid.
+        even if the caller never refreshes the grid.  Likewise, a grid whose
+        cells are *all* below the threshold keeps everything: culling 100% of
+        samples would freeze training (no gradients ever flow, so the density
+        field could never re-exceed the threshold) — an empty grid means "no
+        known occupied space yet", not "skip the scene".
         """
         points_unit = np.asarray(points_unit, dtype=np.float64)
-        if self._updates == 0:
+        if self._updates == 0 or not self.occupancy.any():
             return np.ones(points_unit.shape[0], dtype=bool)
         return self.is_occupied(points_unit)
 
     def expected_queries_per_iteration(self, n_rays: int, n_samples: int) -> float:
-        """Expected embedding-grid queries per iteration after pruning."""
-        keep = self.occupancy_fraction if self._updates > 0 else 1.0
+        """Expected embedding-grid queries per iteration after pruning.
+
+        Mirrors :meth:`filter_samples`: an un-refreshed or all-empty grid
+        keeps every sample, so the expectation is the dense product.
+        """
+        fraction = self.occupancy_fraction
+        keep = fraction if self._updates > 0 and fraction > 0.0 else 1.0
         return n_rays * n_samples * keep

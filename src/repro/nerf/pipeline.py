@@ -1,0 +1,285 @@
+"""The occupancy-culled render pipeline: the full ray lifecycle in one place.
+
+:class:`RenderPipeline` owns Steps ❷–❹ of the training loop for a batch of
+rays — stratified point sampling, occupancy-grid culling with **sample
+compaction**, the radiance-field query, and masked volume rendering — plus
+the matching gradient gather for the backward pass:
+
+1. ``stratified_samples`` draws ``n_samples`` distances per ray and
+   ``ray_points`` evaluates the sample positions;
+2. the occupancy grid (when culling is enabled) marks samples in known-empty
+   cells, and only the *kept* samples are sent to
+   ``DecoupledRadianceField.query`` — this is what keeps embedding-grid
+   interpolations per iteration near the paper's ~200k instead of the full
+   ``rays x samples`` product;
+3. the compacted ``(sigma, rgb)`` results are scattered back into dense
+   ``(n_rays, n_samples)`` planes with ``sigma = 0`` for culled samples
+   (an empty cell contributes zero extinction, so the composite is exact up
+   to the occupancy threshold) and volume-rendered as usual;
+4. :meth:`RenderPipeline.backward_to_points` gathers the renderer's dense
+   per-sample gradients back down to the kept samples, so back-propagation
+   also only touches the points that were actually queried.
+
+For evaluation rendering the pipeline additionally supports **early ray
+termination**: rays are marched in fixed-size segments and a ray whose
+transmittance falls below ``early_termination_tau`` skips its remaining
+segments entirely (the truncated tail can change the composited color by at
+most ``tau`` per channel).  Early termination is forward-only — training
+never uses it, so gradients are unaffected.
+
+With ``culling_enabled=False`` (and no early termination) the pipeline
+executes exactly the dense sequence the pre-culling trainer ran —
+bit-identical outputs, preserved for differential testing the same way the
+grid engine keeps its ``fused=False`` reference path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.nerf.cameras import RayBundle
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
+from repro.nerf.volume_rendering import RenderOutput, VolumeRenderer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports nerf)
+    from repro.core.model import DecoupledRadianceField
+
+
+@dataclass
+class PipelineRender:
+    """Outputs and query accounting of one pipeline pass over a ray batch."""
+
+    render: RenderOutput
+    t_vals: np.ndarray          # (n_rays, n_samples) sample distances
+    deltas: np.ndarray          # (n_rays, n_samples) sample spacings
+    n_rays: int
+    n_samples: int
+    n_queried: int              # samples that actually reached the field
+    n_total: int                # n_rays * n_samples (the dense product)
+    occupancy_fraction: float   # occupied-cell fraction of the grid (1.0 dense)
+
+    @property
+    def keep_fraction(self) -> float:
+        """Fraction of the dense sample product that was queried."""
+        return self.n_queried / max(self.n_total, 1)
+
+    @property
+    def queries_saved(self) -> int:
+        """Embedding/MLP point queries skipped by culling/termination."""
+        return self.n_total - self.n_queried
+
+
+class RenderPipeline:
+    """Ray generation → sampling → culling/compaction → query → rendering.
+
+    Parameters
+    ----------
+    model:
+        The radiance field to query (anything with ``query``/``backward``
+        compatible with :class:`~repro.core.model.DecoupledRadianceField`).
+    scene_bound:
+        Half-extent of the world-space cube mapped onto the hash grid's unit
+        cube.
+    n_samples:
+        Samples per ray.
+    white_background:
+        Composite unaccumulated transmittance onto white (NeRF-Synthetic
+        protocol).
+    occupancy / culling_enabled:
+        Sample culling is active when both an occupancy grid is attached and
+        ``culling_enabled`` is True.  Before the grid's first update every
+        sample is kept, so the pipeline is always correct.
+    early_termination_tau / termination_segment:
+        Optional transmittance floor for :meth:`render_rays` calls with
+        ``allow_termination=True`` (evaluation rendering): rays are marched
+        ``termination_segment`` samples at a time and drop out once their
+        transmittance is below ``tau``.
+    """
+
+    def __init__(self, model: "DecoupledRadianceField", scene_bound: float,
+                 n_samples: int, white_background: bool = True,
+                 occupancy: Optional[OccupancyGrid] = None,
+                 culling_enabled: bool = True,
+                 early_termination_tau: Optional[float] = None,
+                 termination_segment: int = 8):
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if early_termination_tau is not None and not (0.0 < early_termination_tau < 1.0):
+            raise ValueError("early_termination_tau must be in (0, 1) or None")
+        if termination_segment < 1:
+            raise ValueError("termination_segment must be >= 1")
+        self.model = model
+        self.scene_bound = float(scene_bound)
+        self.n_samples = int(n_samples)
+        self.renderer = VolumeRenderer(white_background=white_background)
+        self.occupancy = occupancy
+        self.culling_enabled = bool(culling_enabled)
+        self.early_termination_tau = early_termination_tau
+        self.termination_segment = int(termination_segment)
+        self._keep_flat: Optional[np.ndarray] = None   # flat bool mask of last pass
+        self._backward_ok = False
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def culling_active(self) -> bool:
+        """True when batches are actually filtered through an occupancy grid."""
+        return self.culling_enabled and self.occupancy is not None
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Occupied-cell fraction of the *active* culling mask (1.0 dense).
+
+        Before the grid's first refresh (and for an all-empty grid, which
+        ``filter_samples`` treats as keep-everything) this reports 1.0, so
+        per-step accounting never shows a bogus "0% occupied" during warm-up.
+        """
+        if not self.culling_active or self.occupancy.n_updates == 0:
+            return 1.0
+        fraction = self.occupancy.occupancy_fraction
+        return fraction if fraction > 0.0 else 1.0
+
+    # -- forward ----------------------------------------------------------------
+    def render_rays(self, bundle: RayBundle,
+                    rng: Optional[np.random.Generator] = None,
+                    allow_termination: bool = False) -> PipelineRender:
+        """Run the full ray lifecycle for one batch and composite colors.
+
+        ``rng`` enables stratified jitter (training); ``None`` uses bin
+        midpoints (deterministic evaluation).  ``allow_termination=True``
+        additionally applies early ray termination when the pipeline has a
+        ``early_termination_tau`` — forward-only, so a subsequent
+        :meth:`backward_to_points` raises.
+        """
+        n_rays = bundle.n_rays
+        n_samples = self.n_samples
+        t_vals, deltas = stratified_samples(bundle, n_samples, rng=rng)
+        points, dirs = ray_points(bundle, t_vals)
+        points_unit = normalize_points_to_unit_cube(points, self.scene_bound)
+
+        terminating = allow_termination and self.early_termination_tau is not None
+        if terminating:
+            render, n_queried = self._march_terminated(
+                points_unit, dirs, t_vals, deltas, n_rays)
+            self._keep_flat = None
+            self._backward_ok = False
+        elif self.culling_active:
+            render, n_queried = self._forward_culled(
+                points_unit, dirs, t_vals, deltas, n_rays)
+            self._backward_ok = True
+        else:
+            render = self._forward_dense(points_unit, dirs, t_vals, deltas, n_rays)
+            n_queried = n_rays * n_samples
+            self._keep_flat = None
+            self._backward_ok = True
+        return PipelineRender(
+            render=render,
+            t_vals=t_vals,
+            deltas=deltas,
+            n_rays=n_rays,
+            n_samples=n_samples,
+            n_queried=int(n_queried),
+            n_total=n_rays * n_samples,
+            occupancy_fraction=self.occupancy_fraction,
+        )
+
+    def _forward_dense(self, points_unit, dirs, t_vals, deltas,
+                       n_rays: int) -> RenderOutput:
+        """The reference dense path (bit-identical to the pre-culling trainer)."""
+        sigma, rgb = self.model.query(points_unit, dirs)
+        sigma = sigma.reshape(n_rays, self.n_samples)
+        rgb = rgb.reshape(n_rays, self.n_samples, 3)
+        return self.renderer.forward(sigma, rgb, deltas, t_vals)
+
+    def _forward_culled(self, points_unit, dirs, t_vals, deltas,
+                        n_rays: int) -> Tuple[RenderOutput, int]:
+        """Query only occupied-cell samples and scatter into dense planes."""
+        keep = self.occupancy.filter_samples(points_unit)
+        if keep.all():
+            # Nothing to cull (e.g. before the grid's first update): take the
+            # dense path so no compaction copies are paid.
+            self._keep_flat = None
+            return (self._forward_dense(points_unit, dirs, t_vals, deltas, n_rays),
+                    keep.size)
+        self._keep_flat = keep
+        n_samples = self.n_samples
+        sigma_plane = np.zeros(n_rays * n_samples)
+        rgb_plane = np.zeros((n_rays * n_samples, 3))
+        n_queried = int(np.count_nonzero(keep))
+        if n_queried:
+            sigma, rgb = self.model.query(points_unit[keep], dirs[keep])
+            sigma_plane[keep] = sigma
+            rgb_plane[keep] = rgb
+        return (
+            self.renderer.forward(
+                sigma_plane.reshape(n_rays, n_samples),
+                rgb_plane.reshape(n_rays, n_samples, 3),
+                deltas, t_vals,
+            ),
+            n_queried,
+        )
+
+    def _march_terminated(self, points_unit, dirs, t_vals, deltas,
+                          n_rays: int) -> Tuple[RenderOutput, int]:
+        """Segment-wise march with occupancy culling and early termination.
+
+        Samples are queried ``termination_segment`` at a time; after each
+        segment the running optical depth tells which rays have dropped below
+        the transmittance floor, and those rays skip all later segments
+        (their remaining samples stay at ``sigma = 0``, costing at most
+        ``tau`` of composited color).
+        """
+        tau = float(self.early_termination_tau)
+        n_samples = self.n_samples
+        points_r = points_unit.reshape(n_rays, n_samples, 3)
+        dirs_r = dirs.reshape(n_rays, n_samples, 3)
+        sigma_plane = np.zeros((n_rays, n_samples))
+        rgb_plane = np.zeros((n_rays, n_samples, 3))
+        if self.culling_active:
+            keep = self.occupancy.filter_samples(points_unit).reshape(n_rays, n_samples)
+        else:
+            keep = np.ones((n_rays, n_samples), dtype=bool)
+        active = np.ones(n_rays, dtype=bool)
+        optical_depth = np.zeros(n_rays)
+        n_queried = 0
+        for start in range(0, n_samples, self.termination_segment):
+            stop = min(start + self.termination_segment, n_samples)
+            mask = keep[:, start:stop] & active[:, None]
+            n_segment = int(np.count_nonzero(mask))
+            if n_segment:
+                sigma, rgb = self.model.query(points_r[:, start:stop][mask],
+                                              dirs_r[:, start:stop][mask])
+                sigma_plane[:, start:stop][mask] = sigma
+                rgb_plane[:, start:stop][mask] = rgb
+                n_queried += n_segment
+            optical_depth += np.einsum(
+                "ns,ns->n", sigma_plane[:, start:stop], deltas[:, start:stop])
+            active &= np.exp(-optical_depth) > tau
+            if not active.any() and stop < n_samples:
+                break
+        return self.renderer.forward(sigma_plane, rgb_plane, deltas, t_vals), n_queried
+
+    # -- backward ---------------------------------------------------------------
+    def backward_to_points(self, grad_colors: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Propagate ``dL/dC`` to the per-point gradients of the *kept* samples.
+
+        Runs the volume renderer's backward over the dense planes, then
+        gathers the rows belonging to queried samples — the compacted shapes
+        expected by ``DecoupledRadianceField.backward`` for the matching
+        :meth:`render_rays` call.  Culled samples receive no gradient: their
+        cells are known-empty, so the density branch is not pulled toward
+        refilling them.
+        """
+        if not self._backward_ok:
+            raise RuntimeError(
+                "backward_to_points requires a preceding render_rays without "
+                "early termination")
+        grad_sigmas, grad_rgbs = self.renderer.backward(grad_colors)
+        if self._keep_flat is None:
+            return grad_sigmas.reshape(-1), grad_rgbs.reshape(-1, 3)
+        keep = self._keep_flat
+        return grad_sigmas.reshape(-1)[keep], grad_rgbs.reshape(-1, 3)[keep]

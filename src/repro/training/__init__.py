@@ -18,6 +18,7 @@ from repro.training.profiler import (
     IterationWorkload,
     WorkloadScale,
     build_iteration_workload,
+    profile_iteration,
 )
 from repro.training.trainer import Trainer, TrainingHistory, TrainingResult, train_scene
 from repro.training.metrics import evaluate_model, EvaluationResult
@@ -29,6 +30,7 @@ __all__ = [
     "IterationWorkload",
     "WorkloadScale",
     "build_iteration_workload",
+    "profile_iteration",
     "Trainer",
     "TrainingHistory",
     "TrainingResult",

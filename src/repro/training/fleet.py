@@ -70,6 +70,21 @@ class FleetResult:
             return float("inf")
         return self.n_scenes * 3600.0 / self.wall_clock_s
 
+    @property
+    def mean_occupancy_fraction(self) -> float:
+        """Mean end-of-run occupied-cell fraction across scenes (1.0 dense)."""
+        return (sum(r.final_occupancy_fraction for r in self.results)
+                / max(self.n_scenes, 1))
+
+    @property
+    def mean_keep_fraction(self) -> float:
+        """Fleet-wide fraction of the dense sample product actually queried."""
+        total = sum(r.queries_total for r in self.results)
+        kept = sum(r.queries_kept for r in self.results)
+        if total == 0:
+            return 1.0
+        return kept / total
+
     def result_for(self, scene_name: str) -> TrainingResult:
         return self.results[self.scene_names.index(scene_name)]
 
@@ -82,6 +97,8 @@ class FleetResult:
             "mean_depth_psnr": self.mean_depth_psnr,
             "wall_clock_s": self.wall_clock_s,
             "scenes_per_hour": self.scenes_per_hour,
+            "mean_occupancy_fraction": self.mean_occupancy_fraction,
+            "mean_keep_fraction": self.mean_keep_fraction,
         }
 
 

@@ -17,8 +17,8 @@ from repro.core.model import DecoupledRadianceField
 from repro.datasets.dataset import SceneDataset
 from repro.nerf.cameras import PinholeCamera, RayBundle
 from repro.nerf.losses import mse_to_psnr, psnr
-from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
-from repro.nerf.volume_rendering import VolumeRenderer
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.pipeline import RenderPipeline
 
 
 @dataclass
@@ -37,13 +37,26 @@ class EvaluationResult:
 
 def render_view(model: DecoupledRadianceField, camera: PinholeCamera,
                 scene_bound: float, n_samples: int = 48,
-                white_background: bool = True, chunk_rays: int = 2048):
+                white_background: bool = True, chunk_rays: int = 2048,
+                occupancy: Optional[OccupancyGrid] = None,
+                early_termination_tau: Optional[float] = None):
     """Render a full image and depth map from a trained model.
+
+    Rays are streamed through a :class:`~repro.nerf.pipeline.RenderPipeline`
+    in chunks of ``chunk_rays``.  An ``occupancy`` grid culls samples in
+    known-empty cells, and ``early_termination_tau`` stops marching rays
+    whose transmittance has dropped below the threshold — both default to
+    off, which renders densely (bit-identical to the pre-pipeline renderer).
 
     Returns ``(rgb, depth)`` with shapes ``(H, W, 3)`` and ``(H, W)``.
     """
     bundle = camera.all_rays()
-    renderer = VolumeRenderer(white_background=white_background)
+    pipeline = RenderPipeline(
+        model, scene_bound, n_samples=n_samples,
+        white_background=white_background, occupancy=occupancy,
+        culling_enabled=occupancy is not None,
+        early_termination_tau=early_termination_tau,
+    )
     colors = np.empty((bundle.n_rays, 3))
     depths = np.empty(bundle.n_rays)
     for start in range(0, bundle.n_rays, chunk_rays):
@@ -54,19 +67,9 @@ def render_view(model: DecoupledRadianceField, camera: PinholeCamera,
             near=bundle.near,
             far=bundle.far,
         )
-        t_vals, deltas = stratified_samples(chunk, n_samples, rng=None)
-        points, dirs = ray_points(chunk, t_vals)
-        points_unit = normalize_points_to_unit_cube(points, scene_bound)
-        sigma, rgb = model.query(points_unit, dirs)
-        n_rays = stop - start
-        out = renderer.forward(
-            sigma.reshape(n_rays, n_samples),
-            rgb.reshape(n_rays, n_samples, 3),
-            deltas,
-            t_vals,
-        )
-        colors[start:stop] = out.colors
-        depths[start:stop] = out.depth
+        out = pipeline.render_rays(chunk, rng=None, allow_termination=True)
+        colors[start:stop] = out.render.colors
+        depths[start:stop] = out.render.depth
     rgb_image = np.clip(colors, 0.0, 1.0).reshape(camera.height, camera.width, 3)
     depth_image = depths.reshape(camera.height, camera.width)
     return rgb_image, depth_image
@@ -94,8 +97,15 @@ def _depth_psnr(pred_depth: np.ndarray, gt_depth: np.ndarray,
 
 def evaluate_model(model: DecoupledRadianceField, dataset: SceneDataset,
                    n_views: Optional[int] = None, n_samples: int = 48,
-                   white_background: bool = True) -> EvaluationResult:
-    """Render test views of ``dataset`` with ``model`` and average PSNR."""
+                   white_background: bool = True,
+                   occupancy: Optional[OccupancyGrid] = None,
+                   early_termination_tau: Optional[float] = None) -> EvaluationResult:
+    """Render test views of ``dataset`` with ``model`` and average PSNR.
+
+    ``occupancy`` and ``early_termination_tau`` are forwarded to
+    :func:`render_view`, so evaluation renders benefit from the same sample
+    culling as training when the caller (e.g. the trainer) provides them.
+    """
     views = dataset.test_views if n_views is None else dataset.test_views[:n_views]
     if not views:
         raise ValueError("dataset has no test views to evaluate")
@@ -105,6 +115,7 @@ def evaluate_model(model: DecoupledRadianceField, dataset: SceneDataset,
         rgb, depth = render_view(
             model, view.camera, dataset.scene_bound,
             n_samples=n_samples, white_background=white_background,
+            occupancy=occupancy, early_termination_tau=early_termination_tau,
         )
         rgb_scores.append(psnr(rgb, view.rgb))
         depth_scores.append(

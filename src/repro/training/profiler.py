@@ -26,10 +26,13 @@ Pipeline steps follow the paper's numbering:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.config import Instant3DConfig
 from repro.grid.hash_encoding import FEATURE_BYTES, HashGridConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nerf.occupancy import OccupancyGrid
 
 
 class PipelineStep:
@@ -123,11 +126,19 @@ class StepWorkload:
 
 @dataclass
 class IterationWorkload:
-    """All step workloads of a single training iteration plus run metadata."""
+    """All step workloads of a single training iteration plus run metadata.
+
+    ``keep_fraction`` records the occupancy-culled share of the dense
+    ``rays x samples`` product that actually reaches the embedding grids and
+    MLP heads (1.0 = dense).  The per-step counts in ``steps`` are already
+    scaled by it, so device and accelerator models price the culled workload
+    without further adjustment.
+    """
 
     config: Instant3DConfig
     scale: WorkloadScale
     steps: List[StepWorkload] = field(default_factory=list)
+    keep_fraction: float = 1.0
 
     def by_step(self, step: str) -> List[StepWorkload]:
         return [s for s in self.steps if s.step == step]
@@ -159,7 +170,18 @@ class IterationWorkload:
 
     @property
     def points_per_iteration(self) -> int:
+        """The dense ``rays x samples`` point-query product."""
         return self.scale.points_per_iteration
+
+    @property
+    def culled_points_per_iteration(self) -> int:
+        """Point queries that actually reach the grids/MLPs after culling."""
+        return int(round(self.scale.points_per_iteration * self.keep_fraction))
+
+    @property
+    def queries_saved_per_iteration(self) -> int:
+        """Point queries skipped per iteration thanks to occupancy culling."""
+        return self.points_per_iteration - self.culled_points_per_iteration
 
 
 # ---------------------------------------------------------------------------
@@ -190,7 +212,9 @@ def _mlp_flops(in_features: int, hidden_width: int, hidden_layers: int,
 
 def build_iteration_workload(config: Instant3DConfig,
                              scale: Optional[WorkloadScale] = None,
-                             n_iterations: int = 1024) -> IterationWorkload:
+                             n_iterations: int = 1024,
+                             occupancy: Optional["OccupancyGrid"] = None,
+                             keep_fraction: Optional[float] = None) -> IterationWorkload:
     """Derive the per-iteration operation counts of a training configuration.
 
     The decomposition convention follows DESIGN.md: the decoupled branches
@@ -198,10 +222,33 @@ def build_iteration_workload(config: Instant3DConfig,
     ``F / 2`` features per level when the baseline carries ``F``), so the
     1:1 / 1:1 configuration performs the same total embedding work as the
     coupled Instant-NGP grid it stands in for.
+
+    Occupancy culling enters through ``occupancy`` (an
+    :class:`~repro.nerf.occupancy.OccupancyGrid`, whose
+    ``expected_queries_per_iteration`` supplies the kept fraction) or an
+    explicit ``keep_fraction`` (e.g. the *measured*
+    ``TrainingHistory.mean_keep_fraction`` of a real culled run).  Only the
+    per-point steps scale with it — the grid interpolations/backwards and
+    the MLP heads, which is exactly the work the compacting
+    :class:`~repro.nerf.pipeline.RenderPipeline` skips.  Host-side steps
+    (pixel sampling, ray setup, volume rendering over the dense planes,
+    loss, parameter update) stay at the dense size.  This is how the paper's
+    ">200,000 interpolations per iteration" figure arises: 4096 rays x 48
+    samples already *net* of the occupancy grid's pruning.
     """
+    if occupancy is not None and keep_fraction is not None:
+        raise ValueError("pass either occupancy or keep_fraction, not both")
     if scale is None:
         scale = WorkloadScale.paper_scale(n_iterations=n_iterations)
-    points = scale.points_per_iteration
+    if occupancy is not None:
+        keep_fraction = (occupancy.expected_queries_per_iteration(
+            scale.batch_pixels, scale.samples_per_ray)
+            / scale.points_per_iteration)
+    if keep_fraction is None:
+        keep_fraction = 1.0
+    if not (0.0 <= keep_fraction <= 1.0):
+        raise ValueError("keep_fraction must be in [0, 1]")
+    points = scale.points_per_iteration * keep_fraction
     pixels = scale.batch_pixels
     samples = scale.samples_per_ray
 
@@ -210,7 +257,8 @@ def build_iteration_workload(config: Instant3DConfig,
     # Feature split between the decomposed branches (see DESIGN.md §1).
     branch_features = max(1, density_grid.n_features_per_level // 2)
 
-    workload = IterationWorkload(config=config, scale=scale, steps=[])
+    workload = IterationWorkload(config=config, scale=scale, steps=[],
+                                 keep_fraction=float(keep_fraction))
 
     # Step ❶ / ❷ — host-side pixel sampling and ray setup.
     workload.steps.append(StepWorkload(
@@ -297,3 +345,7 @@ def build_iteration_workload(config: Instant3DConfig,
         other_bytes=8.0 * mlp_params,
     ))
     return workload
+
+
+#: Alias matching the paper-facing name for per-iteration workload profiling.
+profile_iteration = build_iteration_workload

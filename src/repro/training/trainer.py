@@ -7,6 +7,15 @@ them → ❸ query the decoupled radiance field → ❹ volume-render the predic
 pixel colors → ❺ compute the squared-error loss → ❻ back-propagate, where
 the color branch's back-propagation and optimiser step are skipped on
 iterations the ``F_C`` schedule marks as non-update iterations.
+
+Steps ❷–❹ (and the per-sample half of ❻) are delegated to
+:class:`~repro.nerf.pipeline.RenderPipeline`.  With
+``Instant3DConfig(culling_enabled=True)`` the trainer additionally maintains
+an :class:`~repro.nerf.occupancy.OccupancyGrid`, refreshed from the density
+branch on the Instant-NGP schedule, and the pipeline compacts away samples
+in known-empty cells before they reach the field — forward and backward.
+The dense path (``culling_enabled=False``, the default) stays bit-identical
+to the pre-pipeline trainer for differential testing.
 """
 
 from __future__ import annotations
@@ -22,28 +31,58 @@ from repro.core.schedule import BranchSchedules
 from repro.datasets.dataset import SceneDataset
 from repro.nerf.cameras import sample_pixel_batch
 from repro.nerf.losses import mse_loss, mse_to_psnr
-from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
-from repro.nerf.volume_rendering import VolumeRenderer
+from repro.nerf.occupancy import OccupancyGrid
+from repro.nerf.pipeline import RenderPipeline
 from repro.nn.optim import Adam
 from repro.training.metrics import EvaluationResult, evaluate_model
-from repro.utils.seeding import derive_rng
+from repro.utils.seeding import derive_rng, derive_seed
 
 
 @dataclass
 class TrainingHistory:
-    """Loss curve and periodic evaluations recorded during training."""
+    """Loss curve, query accounting and periodic evaluations of a run."""
 
     iterations: List[int] = field(default_factory=list)
     losses: List[float] = field(default_factory=list)
     batch_psnrs: List[float] = field(default_factory=list)
+    #: Per-iteration sample-query accounting: the dense ``rays x samples``
+    #: product, the samples that actually reached the field after occupancy
+    #: culling, and the occupancy grid's occupied-cell fraction (1.0 when
+    #: culling is disabled).
+    queries_total: List[int] = field(default_factory=list)
+    queries_kept: List[int] = field(default_factory=list)
+    occupancy_fractions: List[float] = field(default_factory=list)
     eval_iterations: List[int] = field(default_factory=list)
     eval_rgb_psnrs: List[float] = field(default_factory=list)
     eval_depth_psnrs: List[float] = field(default_factory=list)
 
-    def record_step(self, iteration: int, loss: float, batch_psnr: float) -> None:
+    def record_step(self, iteration: int, loss: float, batch_psnr: float,
+                    queries_kept: Optional[int] = None,
+                    queries_total: Optional[int] = None,
+                    occupancy_fraction: float = 1.0) -> None:
         self.iterations.append(iteration)
         self.losses.append(loss)
         self.batch_psnrs.append(batch_psnr)
+        if queries_total is not None:
+            self.queries_total.append(int(queries_total))
+            self.queries_kept.append(
+                int(queries_kept if queries_kept is not None else queries_total))
+            self.occupancy_fractions.append(float(occupancy_fraction))
+
+    @property
+    def total_queries_saved(self) -> int:
+        """Point queries skipped by culling over the recorded iterations."""
+        return int(sum(self.queries_total) - sum(self.queries_kept))
+
+    def mean_keep_fraction(self, last_n: Optional[int] = None) -> float:
+        """Mean kept-sample fraction, optionally over the last ``last_n`` steps."""
+        if last_n is not None and last_n <= 0:
+            return 1.0
+        total = self.queries_total if last_n is None else self.queries_total[-last_n:]
+        kept = self.queries_kept if last_n is None else self.queries_kept[-last_n:]
+        if not total:
+            return 1.0
+        return float(sum(kept)) / float(max(sum(total), 1))
 
     def record_eval(self, iteration: int, result: EvaluationResult) -> None:
         self.eval_iterations.append(iteration)
@@ -60,6 +99,12 @@ class TrainingResult:
     n_iterations: int
     density_updates: int
     color_updates: int
+    #: Occupied-cell fraction of the occupancy grid at the end of the run
+    #: (1.0 when culling was disabled).
+    final_occupancy_fraction: float = 1.0
+    #: Density-branch points queried by occupancy-grid refreshes over the
+    #: run — the overhead side of the culling ledger (0 when disabled).
+    occupancy_refresh_points: int = 0
 
     @property
     def rgb_psnr(self) -> float:
@@ -68,6 +113,16 @@ class TrainingResult:
     @property
     def depth_psnr(self) -> float:
         return self.final_eval.depth_psnr
+
+    @property
+    def queries_total(self) -> int:
+        """Dense sample-query product summed over the recorded iterations."""
+        return int(sum(self.history.queries_total))
+
+    @property
+    def queries_kept(self) -> int:
+        """Samples that actually reached the field over the recorded iterations."""
+        return int(sum(self.history.queries_kept))
 
 
 class Trainer:
@@ -81,7 +136,22 @@ class Trainer:
         self.schedules = BranchSchedules.from_frequencies(
             self.config.density_update_freq, self.config.color_update_freq
         )
-        self.renderer = VolumeRenderer(white_background=self.config.white_background)
+        self.occupancy: Optional[OccupancyGrid] = None
+        if self.config.culling_enabled:
+            self.occupancy = OccupancyGrid(
+                resolution=self.config.occupancy_resolution,
+                decay=self.config.occupancy_decay,
+                occupancy_threshold=self.config.occupancy_threshold,
+                seed=derive_seed(seed, f"{dataset.name}:occupancy"),
+            )
+        self.pipeline = RenderPipeline(
+            model, dataset.scene_bound,
+            n_samples=self.config.n_samples_per_ray,
+            white_background=self.config.white_background,
+            occupancy=self.occupancy,
+            culling_enabled=self.config.culling_enabled,
+            early_termination_tau=self.config.early_termination_tau,
+        )
         self.density_optimizer = Adam(model.density_parameters(),
                                       lr=self.config.learning_rate)
         self.color_optimizer = Adam(model.color_parameters(),
@@ -91,49 +161,66 @@ class Trainer:
         self.iteration = 0
         self.density_updates = 0
         self.color_updates = 0
+        self.occupancy_refresh_points = 0
+
+    # -- occupancy maintenance -------------------------------------------------
+    def _refresh_occupancy(self) -> None:
+        """Refresh the occupancy grid from the density branch when scheduled.
+
+        Follows the Instant-NGP cadence: every ``occupancy_update_every``
+        iterations, starting at ``occupancy_warmup_iterations`` so the
+        density branch has begun carving out empty space before its
+        predictions are trusted for culling.  Runs *before* the iteration's
+        query so the density branch's forward buffers are free to reuse.
+        """
+        config = self.config
+        since_warmup = self.iteration - config.occupancy_warmup_iterations
+        if since_warmup < 0 or since_warmup % config.occupancy_update_every != 0:
+            return
+        self.occupancy.update(self.model.query_density,
+                              n_samples=config.occupancy_refresh_samples)
+        self.occupancy_refresh_points += config.occupancy_refresh_samples
 
     # -- one iteration ---------------------------------------------------------
     def train_step(self) -> Dict[str, float]:
         """Run one full training iteration and return its scalar metrics."""
         config = self.config
         update_density, update_color = self.schedules.updates_at(self.iteration)
+        if self.occupancy is not None:
+            self._refresh_occupancy()
 
-        # ❶ / ❷ — pixel batch and rays.
+        # ❶ — pixel batch.
         bundle, targets = sample_pixel_batch(
             self.dataset.train_cameras, self.dataset.train_images,
             config.batch_pixels, self._pixel_rng,
         )
-        t_vals, deltas = stratified_samples(bundle, config.n_samples_per_ray,
-                                            rng=self._sample_rng)
-        points, dirs = ray_points(bundle, t_vals)
-        points_unit = normalize_points_to_unit_cube(points, self.dataset.scene_bound)
 
-        # ❸ — query the decoupled radiance field.
-        sigma, rgb = self.model.query(points_unit, dirs)
-        n_rays = bundle.n_rays
-        n_samples = config.n_samples_per_ray
-        sigma = sigma.reshape(n_rays, n_samples)
-        rgb = rgb.reshape(n_rays, n_samples, 3)
+        # ❷ / ❸ / ❹ — sampling, (culled) field query and volume rendering.
+        out = self.pipeline.render_rays(bundle, rng=self._sample_rng)
 
-        # ❹ / ❺ — volume rendering and loss.
-        render = self.renderer.forward(sigma, rgb, deltas, t_vals)
-        loss, grad_colors = mse_loss(render.colors, targets)
+        # ❺ — loss.
+        loss, grad_colors = mse_loss(out.render.colors, targets)
 
-        # ❻ — back-propagation with per-branch update schedule.
-        grad_sigmas, grad_rgbs = self.renderer.backward(grad_colors)
+        # ❻ — back-propagation with per-branch update schedule, touching only
+        # the samples that were queried.  A batch whose samples were all
+        # culled has no gradients at all, so neither branch updates on it.
         self.model.zero_grad()
-        self.model.backward(
-            grad_sigmas.reshape(-1),
-            grad_rgbs.reshape(-1, 3),
-            update_density=update_density,
-            update_color=update_color,
-        )
-        if update_density:
-            self.density_optimizer.step()
-            self.density_updates += 1
-        if update_color:
-            self.color_optimizer.step()
-            self.color_updates += 1
+        update_density = update_density and out.n_queried > 0
+        update_color = update_color and out.n_queried > 0
+        if out.n_queried > 0:
+            grad_sigmas, grad_rgbs = self.pipeline.backward_to_points(grad_colors)
+            self.model.backward(
+                grad_sigmas,
+                grad_rgbs,
+                update_density=update_density,
+                update_color=update_color,
+            )
+            if update_density:
+                self.density_optimizer.step()
+                self.density_updates += 1
+            if update_color:
+                self.color_optimizer.step()
+                self.color_updates += 1
 
         self.iteration += 1
         return {
@@ -142,6 +229,9 @@ class Trainer:
             "batch_psnr": mse_to_psnr(loss),
             "updated_density": float(update_density),
             "updated_color": float(update_color),
+            "queries_total": float(out.n_total),
+            "queries_kept": float(out.n_queried),
+            "occupancy_fraction": float(out.occupancy_fraction),
         }
 
     # -- full run ---------------------------------------------------------------
@@ -157,12 +247,19 @@ class Trainer:
         """
         for _ in range(n_steps):
             metrics = self.train_step()
-            history.record_step(self.iteration, metrics["loss"], metrics["batch_psnr"])
+            history.record_step(
+                self.iteration, metrics["loss"], metrics["batch_psnr"],
+                queries_kept=int(metrics["queries_kept"]),
+                queries_total=int(metrics["queries_total"]),
+                occupancy_fraction=metrics["occupancy_fraction"],
+            )
             if eval_every and self.iteration % eval_every == 0:
                 result = evaluate_model(
                     self.model, self.dataset, n_views=eval_views,
                     n_samples=eval_samples,
                     white_background=self.config.white_background,
+                    occupancy=self.occupancy,
+                    early_termination_tau=self.config.early_termination_tau,
                 )
                 history.record_eval(self.iteration, result)
 
@@ -172,6 +269,8 @@ class Trainer:
         final_eval = evaluate_model(
             self.model, self.dataset, n_views=eval_views, n_samples=eval_samples,
             white_background=self.config.white_background,
+            occupancy=self.occupancy,
+            early_termination_tau=self.config.early_termination_tau,
         )
         return TrainingResult(
             history=history,
@@ -179,6 +278,8 @@ class Trainer:
             n_iterations=self.iteration,
             density_updates=self.density_updates,
             color_updates=self.color_updates,
+            final_occupancy_fraction=self.pipeline.occupancy_fraction,
+            occupancy_refresh_points=self.occupancy_refresh_points,
         )
 
     def train(self, n_iterations: int, eval_every: Optional[int] = None,

@@ -19,6 +19,16 @@ def new_rng(seed: int = 0) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def derive_seed(parent_seed: int, key: str) -> int:
+    """Derive an independent integer child seed from a parent seed and a key.
+
+    Useful when a component (e.g. :class:`~repro.nerf.occupancy.OccupancyGrid`)
+    wants to own its generator but must stay decorrelated from its siblings.
+    """
+    digest = hashlib.sha256(f"{parent_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def derive_rng(parent_seed: int, key: str) -> np.random.Generator:
     """Derive an independent generator from a parent seed and a string key.
 
@@ -26,6 +36,4 @@ def derive_rng(parent_seed: int, key: str) -> np.random.Generator:
     ``derive_rng(0, "weights")`` produce decorrelated streams while remaining
     fully deterministic across runs and platforms.
     """
-    digest = hashlib.sha256(f"{parent_seed}:{key}".encode("utf-8")).digest()
-    child_seed = int.from_bytes(digest[:8], "little")
-    return np.random.default_rng(child_seed)
+    return np.random.default_rng(derive_seed(parent_seed, key))
