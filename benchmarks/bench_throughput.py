@@ -1,6 +1,6 @@
-"""Throughput benchmark: fused grid engine, culled pipeline and fleet.
+"""Throughput benchmark: fused grid engine, culled pipeline, fleet, checkpoints.
 
-Three measurements back the engine and pipeline layers:
+Four measurements back the engine, pipeline and io layers:
 
 1. **Grid engine** — forward + backward points/sec of the fused stacked-kernel
    engine versus the original per-level loop on a 65k-point batch, with a
@@ -14,6 +14,10 @@ Three measurements back the engine and pipeline layers:
    pre-pipeline trainer's losses exactly.
 3. **Fleet** — scenes/hour of :class:`repro.training.SceneFleet` on a small
    suite of procedural scenes (train + eval, end to end).
+4. **Checkpointing** — save/load seconds per scene and bytes on disk for the
+   single-file trainer checkpoint, a round-trip exactness check, and one
+   fleet interrupt → resume cycle (with ``max_resident_scenes=1`` eviction)
+   asserted to finish bit-identically to an uninterrupted run.
 
 Results are printed and written to ``BENCH_throughput.json`` next to the
 repository root.  ``--smoke`` shrinks all measurements for CI (< 30 s).
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,6 +44,7 @@ from repro.nerf.cameras import sample_pixel_batch
 from repro.nerf.losses import mse_loss
 from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
 from repro.nerf.volume_rendering import VolumeRenderer
+from repro.io import load_trainer_checkpoint, save_trainer_checkpoint
 from repro.nn.optim import Adam
 from repro.training.fleet import SceneFleet
 from repro.training.trainer import Trainer, TrainingHistory
@@ -283,6 +289,96 @@ def bench_fleet(n_scenes: int, n_iterations: int, image_size: int,
     return summary
 
 
+def bench_checkpoint(n_iterations: int, image_size: int,
+                     repeats: int = 3) -> dict:
+    """Measure checkpoint save/load overhead and verify bit-identical resume.
+
+    The trainer-level half times :func:`save_trainer_checkpoint` /
+    :func:`load_trainer_checkpoint` on one culled scene (best of
+    ``repeats``) and checks the restored trainer reproduces the source
+    exactly over a 10-step continuation.  The fleet-level half runs one
+    interrupt → resume cycle (fresh :class:`SceneFleet`, nothing shared but
+    the checkpoint files, ``max_resident_scenes=1`` so eviction is on the
+    path) and compares against an uninterrupted run.
+    """
+    datasets = nerf_synthetic_like(["lego", "ficus"], n_train_views=6,
+                                   n_test_views=1, image_size=image_size)
+    dataset = datasets[0]
+    config = dataclasses.replace(bench_config(0.25, 0.5), culling_enabled=True)
+    trainer = Trainer(DecoupledRadianceField(config, seed=0), dataset,
+                      config=config, seed=0)
+    history = TrainingHistory()
+    trainer.run_steps(n_iterations, history)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "scene.ckpt.npz"
+        save_s = min(_timed(lambda: save_trainer_checkpoint(
+            path, trainer, history=history)) for _ in range(repeats))
+        checkpoint_bytes = path.stat().st_size
+        restored = Trainer(DecoupledRadianceField(config, seed=0), dataset,
+                           config=config, seed=0)
+        restored_history = TrainingHistory()
+        load_s = min(_timed(lambda: load_trainer_checkpoint(
+            path, restored, history=restored_history)) for _ in range(repeats))
+
+        roundtrip_exact = (
+            restored.iteration == trainer.iteration
+            and restored_history.losses == history.losses
+            and all(np.array_equal(a.data, b.data) for a, b in
+                    zip(trainer.model.parameters(), restored.model.parameters()))
+            and np.array_equal(trainer.occupancy.density,
+                               restored.occupancy.density)
+        )
+        # Continuation differential: both trainers march 10 more steps.
+        continued = [trainer.train_step()["loss"] for _ in range(10)]
+        resumed = [restored.train_step()["loss"] for _ in range(10)]
+        trainer_resume_identical = continued == resumed
+
+        # Fleet interrupt -> resume cycle: two scenes under a one-trainer
+        # residency cap, so eviction (checkpoint + reload) is on the path.
+        ckpt_dir = Path(tmp) / "fleet"
+        total, interrupt_at = n_iterations, max(1, n_iterations // 2)
+        uninterrupted = SceneFleet(datasets, config, seed=0).train(
+            total, eval_views=1, eval_samples=16)
+        interrupted_fleet = SceneFleet(datasets, config, seed=0,
+                                       slice_iterations=max(1, interrupt_at // 3),
+                                       checkpoint_every=interrupt_at,
+                                       checkpoint_dir=ckpt_dir,
+                                       max_resident_scenes=1)
+        interrupted_fleet.train(interrupt_at, eval_views=1, eval_samples=16)
+        resumed_fleet = SceneFleet(datasets, config, seed=0,
+                                   checkpoint_dir=ckpt_dir,
+                                   max_resident_scenes=1).resume(
+            total, eval_views=1, eval_samples=16)
+        fleet_resume_identical = all(
+            res.history.losses == ref.history.losses
+            and res.rgb_psnr == ref.rgb_psnr
+            and res.depth_psnr == ref.depth_psnr
+            for ref, res in zip(uninterrupted.results, resumed_fleet.results)
+        )
+    return {
+        "n_iterations": n_iterations,
+        "image_size": image_size,
+        "n_parameters": trainer.model.n_parameters,
+        "save_s": save_s,
+        "load_s": load_s,
+        "bytes": checkpoint_bytes,
+        "roundtrip_exact": bool(roundtrip_exact),
+        "trainer_resume_identical": bool(trainer_resume_identical),
+        "fleet_interrupt_at": interrupt_at,
+        "fleet_total_iterations": total,
+        "fleet_evictions": interrupted_fleet.evictions,
+        "resume_bit_identical": bool(trainer_resume_identical
+                                     and fleet_resume_identical),
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -298,10 +394,12 @@ def main() -> None:
         engine_points, repeats = 16384, 2
         fleet_scenes, fleet_iterations, fleet_image = 2, 20, 20
         culling_iterations, culling_image = 120, 20
+        ckpt_iterations, ckpt_image = 24, 20
     else:
         engine_points, repeats = ENGINE_BATCH, 9
         fleet_scenes, fleet_iterations, fleet_image = 3, 80, 28
         culling_iterations, culling_image = 150, 28
+        ckpt_iterations, ckpt_image = 60, 28
 
     engine = bench_grid_engine(engine_points, repeats)
     rows = []
@@ -353,8 +451,23 @@ def main() -> None:
           f"{fleet['scenes_per_hour']:.1f}"]],
     )
 
+    checkpoint = bench_checkpoint(ckpt_iterations, ckpt_image)
+    print_report(
+        f"Checkpoint overhead ({checkpoint['n_parameters']} params, "
+        f"{checkpoint['n_iterations']} iters trained)",
+        ["save (ms)", "load (ms)", "size (KB)", "round-trip", "resume"],
+        [[f"{checkpoint['save_s'] * 1e3:.1f}",
+          f"{checkpoint['load_s'] * 1e3:.1f}",
+          f"{checkpoint['bytes'] / 1024:.0f}",
+          "exact" if checkpoint["roundtrip_exact"] else "DIVERGED",
+          "bit-identical" if checkpoint["resume_bit_identical"] else "DIVERGED"]],
+    )
+    print(f"fleet interrupt at {checkpoint['fleet_interrupt_at']}/"
+          f"{checkpoint['fleet_total_iterations']} iters, "
+          f"{checkpoint['fleet_evictions']} evictions during partial run")
+
     payload = {"engine": engine, "culling": culling, "fleet": fleet,
-               "smoke": bool(args.smoke)}
+               "checkpoint": checkpoint, "smoke": bool(args.smoke)}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nWrote {args.output}")
 

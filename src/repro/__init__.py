@@ -15,6 +15,9 @@ on-device NeRF training.  This library rebuilds the full system in Python:
   Jetson-class baseline devices.
 * :mod:`repro.analysis` — the memory-access-pattern and runtime-breakdown
   analyses behind the paper's motivating figures.
+* :mod:`repro.io` — versioned single-file checkpointing used for
+  interruptible trainers and :class:`~repro.training.SceneFleet`'s
+  preemptible scheduling (checkpoint/resume, scene eviction).
 
 Quickstart::
 
@@ -44,7 +47,7 @@ from repro.training import (
     train_scene,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Instant3DConfig",

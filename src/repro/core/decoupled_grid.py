@@ -12,7 +12,7 @@ hash-table size selects the accelerator's fusion mode).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -94,3 +94,16 @@ class DecoupledGridEncoder:
     def zero_grad(self) -> None:
         self.density_grid.zero_grad()
         self.color_grid.zero_grad()
+
+    # -- serialisation ------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of both branch grids."""
+        return {
+            "density_grid": self.density_grid.state_dict(),
+            "color_grid": self.color_grid.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` into an identically configured encoder."""
+        self.density_grid.load_state_dict(state["density_grid"])
+        self.color_grid.load_state_dict(state["color_grid"])

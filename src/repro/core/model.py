@@ -18,7 +18,7 @@ branch's back-propagation on non-update iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -152,6 +152,26 @@ class DecoupledRadianceField:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    # -- serialisation ----------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of every trainable tensor in the field."""
+        return {
+            "encoder": self.encoder.state_dict(),
+            "density_mlp": self.density_mlp.state_dict(),
+            "color_mlp": self.color_mlp.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` into a model built from the same config.
+
+        Parameters are copied in place, so optimisers already bound to this
+        model keep valid references.  Transient forward caches are untouched
+        (they are rebuilt by the next :meth:`query`).
+        """
+        self.encoder.load_state_dict(state["encoder"])
+        self.density_mlp.load_state_dict(state["density_mlp"])
+        self.color_mlp.load_state_dict(state["color_mlp"])
 
     # -- workload accounting ---------------------------------------------------------
     def mlp_flops_per_point(self) -> int:

@@ -17,7 +17,7 @@ a color grid) with different ``size_scale`` factors; see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -676,6 +676,21 @@ class MultiResHashGrid:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    # -- serialisation ------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of every level's feature table."""
+        return {"tables": [level.table.state_dict() for level in self.levels]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` into an identically configured grid."""
+        tables = state["tables"]
+        if len(tables) != len(self.levels):
+            raise ValueError(
+                f"checkpoint has {len(tables)} levels, grid has "
+                f"{len(self.levels)}")
+        for level, entry in zip(self.levels, tables):
+            level.table.load_state_dict(entry)
 
     def accesses_per_point(self) -> int:
         """Vertex reads needed to encode one point (8 per level)."""

@@ -1,0 +1,240 @@
+"""Versioned single-file checkpointing for training state.
+
+A checkpoint is **one** ``.npz`` file: every :class:`numpy.ndarray` leaf of
+the state tree is stored as a raw npz member (dtype- and bit-exact), and a
+JSON *manifest* — stored inside the same archive under ``__manifest__`` —
+records the tree structure, scalar leaves (including the arbitrary-precision
+integers of numpy bit-generator states), a format version and caller
+metadata.  The format needs no pickle (``allow_pickle=False`` throughout),
+so checkpoints are safe to load from untrusted sources and stable across
+Python versions.
+
+Round-trip guarantees, which the interrupt/resume differential tests build
+on:
+
+* arrays are byte-identical (npz stores raw buffers);
+* Python ``float`` scalars round-trip exactly (JSON uses ``repr``-based
+  shortest representations that parse back to the same double);
+* ``int`` scalars of any magnitude round-trip exactly (JSON integers are
+  unbounded), which covers PCG64's 128-bit state words.
+
+Layered on the generic :func:`save_checkpoint` / :func:`load_checkpoint`
+pair are trainer-level helpers used by
+:class:`~repro.training.fleet.SceneFleet` for preemptible scheduling:
+:func:`save_trainer_checkpoint` captures a
+:class:`~repro.training.trainer.Trainer` (model parameters, both Adam
+optimisers, occupancy grid, RNG streams, iteration counters) plus its
+:class:`~repro.training.trainer.TrainingHistory`, and
+:func:`load_trainer_checkpoint` restores them into a freshly constructed
+trainer so the run continues bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.training.trainer import Trainer, TrainingHistory
+
+#: Identifies the file format inside the manifest.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+#: Bumped whenever the manifest layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+#: npz member that stores the JSON manifest.
+_MANIFEST_KEY = "__manifest__"
+#: Manifest placeholder key referencing an npz array member.
+_ARRAY_KEY = "__npz__"
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, malformed, or of an unsupported version."""
+
+
+@dataclass
+class Checkpoint:
+    """A loaded checkpoint: the state tree plus its manifest header."""
+
+    payload: Dict[str, Any]
+    kind: str
+    version: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
+    """Split a state tree into a JSON-able skeleton and an array table."""
+    if isinstance(node, np.ndarray):
+        if node.dtype == object:
+            # np.savez would silently pickle these, and allow_pickle=False
+            # on load would then reject them — an unrestorable checkpoint.
+            raise CheckpointError(
+                f"object-dtype arrays cannot be checkpointed "
+                f"(at {path or '<root>'})")
+        key = f"a{len(arrays)}"
+        arrays[key] = node
+        return {_ARRAY_KEY: key}
+    if isinstance(node, np.generic):           # numpy scalar: keep its dtype
+        return _flatten(np.asarray(node), arrays, path)
+    if isinstance(node, dict):
+        out = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"checkpoint dict keys must be strings, got {key!r} at "
+                    f"{path or '<root>'}")
+            if key == _ARRAY_KEY:
+                raise CheckpointError(
+                    f"{_ARRAY_KEY!r} is reserved by the checkpoint format "
+                    f"(at {path or '<root>'})")
+            out[key] = _flatten(value, arrays, f"{path}.{key}" if path else key)
+        return out
+    if isinstance(node, (list, tuple)):
+        return [_flatten(value, arrays, f"{path}[{i}]")
+                for i, value in enumerate(node)]
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise CheckpointError(
+        f"unsupported type {type(node).__name__} at {path or '<root>'}")
+
+
+def _unflatten(node: Any, data) -> Any:
+    """Rebuild the state tree, materialising array placeholders from npz."""
+    if isinstance(node, dict):
+        if set(node.keys()) == {_ARRAY_KEY}:
+            return data[node[_ARRAY_KEY]]
+        return {key: _unflatten(value, data) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(value, data) for value in node]
+    return node
+
+
+def save_checkpoint(path: PathLike, payload: Dict[str, Any], *,
+                    kind: str = "state",
+                    metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Write ``payload`` (a nested dict of arrays and scalars) to ``path``.
+
+    ``kind`` tags what the payload holds (e.g. ``"trainer"``) and is checked
+    on load; ``metadata`` is an arbitrary JSON-able dict stored alongside —
+    use it for provenance (scene name, seed, iteration) rather than state.
+    Parent directories are created as needed; the file lands whole, at
+    exactly ``path`` (no implicit ``.npz`` suffix appended).
+
+    The write is **atomic**: the archive is built in a same-directory temp
+    file and renamed over ``path``, so a crash or preemption mid-save never
+    truncates an existing checkpoint — readers see either the old snapshot
+    or the new one, which is what lets the fleet checkpoint on a cadence
+    without a window where the only recoverable state is a partial file.
+    """
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    tree = _flatten(payload, arrays, "")
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "kind": str(kind),
+        "metadata": _flatten(metadata or {}, arrays, "metadata"),
+        "payload": tree,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.parent / f".{path.name}.tmp{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, **{_MANIFEST_KEY: np.array(json.dumps(manifest))},
+                     **arrays)
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+    return path
+
+
+def load_checkpoint(path: PathLike, *,
+                    expected_kind: Optional[str] = None) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` if the file is not a repro checkpoint,
+    its version is newer than this library understands, or ``expected_kind``
+    does not match the stored kind.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"could not read checkpoint {path}: {exc}") from exc
+    with archive as data:
+        if _MANIFEST_KEY not in data.files:
+            raise CheckpointError(f"{path} is not a repro checkpoint "
+                                  f"(missing {_MANIFEST_KEY})")
+        try:
+            manifest = json.loads(str(data[_MANIFEST_KEY][()]))
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt manifest in {path}: {exc}") from exc
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{path} has unknown format {manifest.get('format')!r}")
+        version = int(manifest.get("version", -1))
+        if not 1 <= version <= CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path} has unsupported checkpoint version {version} "
+                f"(this library supports <= {CHECKPOINT_VERSION})")
+        kind = manifest.get("kind", "state")
+        if expected_kind is not None and kind != expected_kind:
+            raise CheckpointError(
+                f"{path} holds a {kind!r} checkpoint, expected "
+                f"{expected_kind!r}")
+        try:
+            payload = _unflatten(manifest["payload"], data)
+            metadata = _unflatten(manifest.get("metadata", {}), data)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: {exc}") from exc
+    return Checkpoint(payload=payload, kind=kind, version=version,
+                      metadata=metadata)
+
+
+# -- trainer-level helpers ----------------------------------------------------
+TRAINER_KIND = "trainer"
+
+
+def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
+                            history: Optional["TrainingHistory"] = None,
+                            metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Checkpoint one trainer (and optionally its history) to a single file.
+
+    The snapshot restores bit-identically: model parameters, both optimiser
+    states (moments + step counts), the occupancy grid (density planes,
+    counters and probe-RNG state) and the pixel/sample RNG streams.
+    """
+    meta = {"scene": trainer.dataset.name, "iteration": int(trainer.iteration)}
+    if metadata:
+        meta.update(metadata)
+    return save_checkpoint(path, {"trainer": trainer.state_dict(history=history)},
+                           kind=TRAINER_KIND, metadata=meta)
+
+
+def load_trainer_checkpoint(path: PathLike, trainer: "Trainer",
+                            history: Optional["TrainingHistory"] = None
+                            ) -> Dict[str, Any]:
+    """Restore a :func:`save_trainer_checkpoint` file into ``trainer``.
+
+    ``trainer`` must be freshly built from the same configuration, dataset
+    and seed as the checkpointed one.  When ``history`` is given it is
+    filled from the stored history (the checkpoint must contain one).
+    Returns the checkpoint's metadata dict.
+    """
+    checkpoint = load_checkpoint(path, expected_kind=TRAINER_KIND)
+    try:
+        trainer.load_state_dict(checkpoint.payload["trainer"], history=history)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} does not match this trainer: {exc}") from exc
+    return checkpoint.metadata

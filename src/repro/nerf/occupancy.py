@@ -23,11 +23,11 @@ and is kept bit-identical for differential testing.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.utils.seeding import derive_rng
+from repro.utils.seeding import derive_rng, get_rng_state, set_rng_state
 
 
 class OccupancyGrid:
@@ -51,6 +51,13 @@ class OccupancyGrid:
         # updates happened before a restart.
         self._rng = derive_rng(seed, "occupancy.update-points")
         self._updates = 0
+        self._marks = 0
+        # Cached binary view of ``density`` (and its .any() reduction): the
+        # thresholding scans resolution^3 cells, which filter_samples would
+        # otherwise redo twice per batch.  Invalidated whenever the density
+        # memory changes.
+        self._occupancy_cache: Optional[np.ndarray] = None
+        self._any_occupied: Optional[bool] = None
 
     # -- indexing -----------------------------------------------------------------
     def cell_indices(self, points_unit: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -60,6 +67,10 @@ class OccupancyGrid:
         return idx[:, 0], idx[:, 1], idx[:, 2]
 
     # -- updates --------------------------------------------------------------------
+    def _invalidate_cache(self) -> None:
+        self._occupancy_cache = None
+        self._any_occupied = None
+
     def update(self, query_fn: Callable[[np.ndarray], np.ndarray],
                n_samples: int = 4096, rng: Optional[np.random.Generator] = None) -> None:
         """Refresh the grid from the radiance field's current density estimates.
@@ -79,27 +90,56 @@ class OccupancyGrid:
         ix, iy, iz = self.cell_indices(points)
         np.maximum.at(self.density, (ix, iy, iz), densities)
         self._updates += 1
+        self._invalidate_cache()
 
     def mark_occupied(self, points_unit: np.ndarray, density: float = 1.0) -> None:
-        """Force the cells containing ``points_unit`` to be occupied (e.g. from GT)."""
+        """Force the cells containing ``points_unit`` to be occupied (e.g. from GT).
+
+        Marks count as density evidence: a grid seeded *only* through
+        ``mark_occupied`` still culls in :meth:`filter_samples` (tracked by
+        :attr:`has_data`), instead of being silently ignored until the first
+        :meth:`update`.
+        """
         ix, iy, iz = self.cell_indices(points_unit)
         np.maximum.at(self.density, (ix, iy, iz), np.float32(density))
+        self._marks += 1
+        self._invalidate_cache()
 
     # -- queries ----------------------------------------------------------------------
     @property
     def n_updates(self) -> int:
-        """How many times the grid has been refreshed (0 = keeps everything)."""
+        """How many times the grid has been refreshed via :meth:`update`."""
         return self._updates
 
     @property
+    def n_marks(self) -> int:
+        """How many times cells were forced occupied via :meth:`mark_occupied`."""
+        return self._marks
+
+    @property
+    def has_data(self) -> bool:
+        """True once the grid holds any density evidence (update *or* mark).
+
+        A grid without data keeps every sample in :meth:`filter_samples`.
+        """
+        return (self._updates + self._marks) > 0
+
+    @property
     def occupancy(self) -> np.ndarray:
-        """Binary occupancy view of the grid."""
-        return self.density > self.occupancy_threshold
+        """Binary occupancy view of the grid (cached; treat as read-only)."""
+        if self._occupancy_cache is None:
+            self._occupancy_cache = self.density > self.occupancy_threshold
+        return self._occupancy_cache
 
     @property
     def occupancy_fraction(self) -> float:
         """Fraction of cells currently considered occupied."""
         return float(np.mean(self.occupancy))
+
+    def _anything_occupied(self) -> bool:
+        if self._any_occupied is None:
+            self._any_occupied = bool(self.occupancy.any())
+        return self._any_occupied
 
     def is_occupied(self, points_unit: np.ndarray) -> np.ndarray:
         """Boolean occupancy of the cells containing each point."""
@@ -109,24 +149,64 @@ class OccupancyGrid:
     def filter_samples(self, points_unit: np.ndarray) -> np.ndarray:
         """Mask of samples worth querying (True = keep).
 
-        Before the first update every sample is kept, so training is correct
-        even if the caller never refreshes the grid.  Likewise, a grid whose
-        cells are *all* below the threshold keeps everything: culling 100% of
-        samples would freeze training (no gradients ever flow, so the density
-        field could never re-exceed the threshold) — an empty grid means "no
-        known occupied space yet", not "skip the scene".
+        Before the grid holds any data every sample is kept, so training is
+        correct even if the caller never refreshes the grid.  Likewise, a
+        grid whose cells are *all* below the threshold keeps everything:
+        culling 100% of samples would freeze training (no gradients ever
+        flow, so the density field could never re-exceed the threshold) — an
+        empty grid means "no known occupied space yet", not "skip the scene".
         """
         points_unit = np.asarray(points_unit, dtype=np.float64)
-        if self._updates == 0 or not self.occupancy.any():
+        if not self.has_data or not self._anything_occupied():
             return np.ones(points_unit.shape[0], dtype=bool)
         return self.is_occupied(points_unit)
 
     def expected_queries_per_iteration(self, n_rays: int, n_samples: int) -> float:
         """Expected embedding-grid queries per iteration after pruning.
 
-        Mirrors :meth:`filter_samples`: an un-refreshed or all-empty grid
-        keeps every sample, so the expectation is the dense product.
+        Mirrors :meth:`filter_samples`: a data-free or all-empty grid keeps
+        every sample, so the expectation is the dense product.
         """
         fraction = self.occupancy_fraction
-        keep = fraction if self._updates > 0 and fraction > 0.0 else 1.0
+        keep = fraction if self.has_data and fraction > 0.0 else 1.0
         return n_rays * n_samples * keep
+
+    # -- serialisation ----------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot: density planes, counters and RNG state.
+
+        Capturing the probe generator's bit-generator state means a restored
+        grid draws exactly the point sets the uninterrupted run would have —
+        a requirement for bit-identical resume of culled training.
+        """
+        return {
+            "resolution": int(self.resolution),
+            "decay": float(self.decay),
+            "occupancy_threshold": float(self.occupancy_threshold),
+            "density": self.density.copy(),
+            "updates": int(self._updates),
+            "marks": int(self._marks),
+            "rng": get_rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` into an identically configured grid."""
+        if int(state["resolution"]) != self.resolution:
+            raise ValueError(
+                f"checkpoint resolution {state['resolution']} does not match "
+                f"grid resolution {self.resolution}")
+        if float(state["decay"]) != self.decay or \
+                float(state["occupancy_threshold"]) != self.occupancy_threshold:
+            raise ValueError(
+                "checkpoint decay/threshold do not match this grid's "
+                "configuration")
+        density = np.asarray(state["density"], dtype=np.float32)
+        if density.shape != self.density.shape:
+            raise ValueError(
+                f"checkpoint density shape {density.shape} does not match "
+                f"{self.density.shape}")
+        self.density[...] = density
+        self._updates = int(state["updates"])
+        self._marks = int(state["marks"])
+        set_rng_state(self._rng, state["rng"])
+        self._invalidate_cache()

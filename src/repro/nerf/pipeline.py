@@ -133,11 +133,11 @@ class RenderPipeline:
     def occupancy_fraction(self) -> float:
         """Occupied-cell fraction of the *active* culling mask (1.0 dense).
 
-        Before the grid's first refresh (and for an all-empty grid, which
+        Before the grid holds any data (and for an all-empty grid, which
         ``filter_samples`` treats as keep-everything) this reports 1.0, so
         per-step accounting never shows a bogus "0% occupied" during warm-up.
         """
-        if not self.culling_active or self.occupancy.n_updates == 0:
+        if not self.culling_active or not self.occupancy.has_data:
             return 1.0
         fraction = self.occupancy.occupancy_fraction
         return fraction if fraction > 0.0 else 1.0

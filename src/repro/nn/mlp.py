@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -62,6 +62,22 @@ class MLP:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    # -- serialisation ------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of every layer parameter, in layer order."""
+        return {"parameters": [p.state_dict() for p in self.parameters()]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` into an identically shaped network."""
+        params = self.parameters()
+        stored = state["parameters"]
+        if len(stored) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(stored)} parameters, network has "
+                f"{len(params)}")
+        for param, entry in zip(params, stored):
+            param.load_state_dict(entry)
 
     @property
     def num_parameters(self) -> int:

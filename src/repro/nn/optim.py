@@ -1,12 +1,45 @@
-"""Gradient-descent optimisers operating on :class:`~repro.nn.parameter.Parameter`."""
+"""Gradient-descent optimisers operating on :class:`~repro.nn.parameter.Parameter`.
+
+Per-parameter state (momentum velocities, Adam moments) is keyed by the
+parameter's *index* in ``self.parameters`` rather than by ``id(param)``:
+CPython reuses object ids after garbage collection, so identity keys can
+silently alias one parameter's state onto an unrelated parameter that
+happens to be allocated at the same address — and identity keys cannot
+round-trip through a checkpoint.  Index keys are stable, collision-free and
+serialisable.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List
 
 import numpy as np
 
 from repro.nn.parameter import Parameter
+
+
+def _load_indexed_state(slots: Dict[int, np.ndarray], stored: Dict[str, Any],
+                        parameters: List[Parameter], label: str) -> None:
+    """Restore an index-keyed array dict (moments/velocities) in place."""
+    slots.clear()
+    for key, array in stored.items():
+        index = int(key)
+        if not 0 <= index < len(parameters):
+            raise ValueError(
+                f"checkpoint {label} index {index} is out of range for "
+                f"{len(parameters)} parameters")
+        array = np.asarray(array, dtype=np.float32)
+        expected = parameters[index].data.shape
+        if array.shape != expected:
+            raise ValueError(
+                f"checkpoint {label}[{index}] shape {array.shape} does not "
+                f"match parameter shape {expected}")
+        slots[index] = array.copy()
+
+
+def _dump_indexed_state(slots: Dict[int, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Serialise an index-keyed array dict (string keys for the manifest)."""
+    return {str(index): array.copy() for index, array in sorted(slots.items())}
 
 
 class SGD:
@@ -23,10 +56,10 @@ class SGD:
 
     def step(self) -> None:
         """Apply one update using the gradients currently accumulated."""
-        for param in self.parameters:
+        for index, param in enumerate(self.parameters):
             update = param.grad
             if self.momentum > 0.0:
-                vel = self._velocity.setdefault(id(param), np.zeros_like(param.data))
+                vel = self._velocity.setdefault(index, np.zeros_like(param.data))
                 vel *= self.momentum
                 vel += update
                 update = vel
@@ -35,6 +68,16 @@ class SGD:
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
+
+    # -- serialisation ------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable optimiser state (momentum velocities by index)."""
+        return {"velocity": _dump_indexed_state(self._velocity)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict`; continuation is bit-identical."""
+        _load_indexed_state(self._velocity, state["velocity"], self.parameters,
+                            "velocity")
 
 
 class Adam:
@@ -64,12 +107,12 @@ class Adam:
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
-        for param in self.parameters:
+        for index, param in enumerate(self.parameters):
             grad = param.grad
             if self.weight_decay > 0.0:
                 grad = grad + self.weight_decay * param.data
-            m = self._m.setdefault(id(param), np.zeros_like(param.data))
-            v = self._v.setdefault(id(param), np.zeros_like(param.data))
+            m = self._m.setdefault(index, np.zeros_like(param.data))
+            v = self._v.setdefault(index, np.zeros_like(param.data))
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
@@ -85,3 +128,26 @@ class Adam:
     @property
     def step_count(self) -> int:
         return self._step_count
+
+    # -- serialisation ------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable optimiser state: step count plus per-index moments.
+
+        The step count drives the bias-correction terms, so omitting it
+        would change every post-resume update; moments are float32 arrays
+        and round-trip exactly.
+        """
+        return {
+            "step_count": int(self._step_count),
+            "m": _dump_indexed_state(self._m),
+            "v": _dump_indexed_state(self._v),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict`; continuation is bit-identical."""
+        step_count = int(state["step_count"])
+        if step_count < 0:
+            raise ValueError("checkpoint step_count must be non-negative")
+        _load_indexed_state(self._m, state["m"], self.parameters, "m")
+        _load_indexed_state(self._v, state["v"], self.parameters, "v")
+        self._step_count = step_count

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
 
@@ -39,6 +41,30 @@ class Parameter:
                 f"{self.name} shape {self.data.shape}"
             )
         self.grad += grad
+
+    # -- serialisation ------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of the parameter (name + data).
+
+        Gradients are transient (the trainer zeroes them at the start of
+        every backward pass), so only the data tensor is captured.
+        """
+        return {"name": self.name, "data": self.data.copy()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` in place (the array object is kept,
+        so optimisers and layers holding references stay valid)."""
+        name = state.get("name")
+        if name is not None and name != self.name:
+            raise ValueError(
+                f"checkpoint parameter name {name!r} does not match {self.name!r}")
+        data = np.asarray(state["data"], dtype=np.float32)
+        if data.shape != self.data.shape:
+            raise ValueError(
+                f"checkpoint shape {data.shape} does not match parameter "
+                f"{self.name} shape {self.data.shape}")
+        self.data[...] = data
+        self.grad.fill(0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,4 +1,4 @@
-"""Multi-scene training orchestration.
+"""Multi-scene training orchestration with preemptible scheduling.
 
 The paper evaluates per-scene training, but the production north star is a
 service that keeps many scenes in flight at once (think one reconstruction
@@ -14,10 +14,24 @@ set of scenes under one shared configuration:
   bit-identical :class:`~repro.training.trainer.TrainingResult`s to running
   :func:`~repro.training.trainer.train_scene` per scene with the same seed:
   the trainer's pixel/sample streams are derived from the scene name (so
-  distinctly named scenes never share them), while model *initialisation*
-  depends on the seed alone and is therefore common to all scenes of a
-  fleet — exactly as it would be across solo ``train_scene(seed=s)`` calls.
-  If a pool cannot be spawned the fleet falls back to in-process execution.
+  distinctly named scenes never share them — duplicate names are rejected),
+  while model *initialisation* depends on the seed alone and is therefore
+  common to all scenes of a fleet — exactly as it would be across solo
+  ``train_scene(seed=s)`` calls.  If a pool cannot be spawned the fleet
+  falls back to in-process execution.
+* **preemption and resume**: with ``checkpoint_dir`` set, every scene's
+  trainer is checkpointed to one ``.npz`` file (every ``checkpoint_every``
+  iterations, on eviction, and at the end of the run).  A *new* fleet built
+  over the same datasets/config/seed can then :meth:`resume` — restoring
+  models, optimiser moments, occupancy grids, RNG streams and histories —
+  and the finished run is **bit-identical** to one that was never
+  interrupted (enforced by differential tests, the same discipline as the
+  fused-engine and culled-pipeline reference paths).
+* **scene eviction**: ``max_resident_scenes`` bounds how many trainers are
+  resident in memory at once; idle scenes are checkpointed to disk and
+  transparently reloaded when the round-robin scheduler returns to them.
+  Eviction is most-recently-run-first, which for a cyclic schedule evicts
+  the scene whose next slice is farthest away.
 
 Results are aggregated into a :class:`FleetResult` with mean PSNRs and a
 scenes-per-hour throughput figure used by ``benchmarks/bench_throughput.py``.
@@ -27,11 +41,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import Instant3DConfig
 from repro.core.model import DecoupledRadianceField
 from repro.datasets.dataset import SceneDataset
+from repro.io import CheckpointError, load_trainer_checkpoint, save_trainer_checkpoint
 from repro.training.trainer import (
     Trainer,
     TrainingHistory,
@@ -50,6 +66,9 @@ class FleetResult:
     n_workers: int
     n_iterations: int
     schedule: str = "round_robin"           # "round_robin" or "process_pool"
+    #: Trainers checkpointed to disk and dropped from memory during the run
+    #: (0 unless ``max_resident_scenes`` forced evictions).
+    evictions: int = 0
 
     @property
     def n_scenes(self) -> int:
@@ -122,6 +141,26 @@ def _run_scene_job(job: _SceneJob) -> TrainingResult:
                        eval_samples=job.eval_samples)
 
 
+@dataclass
+class _SceneSlot:
+    """Round-robin bookkeeping for one scene.
+
+    ``trainer`` is ``None`` while the scene is evicted (or not yet started);
+    ``history`` stays in memory across evictions — only the heavy model /
+    optimiser / occupancy state is dropped.  ``on_disk`` records whether a
+    checkpoint file exists that :meth:`SceneFleet._acquire` should restore
+    from rather than starting fresh.
+    """
+
+    dataset: SceneDataset
+    trainer: Optional[Trainer] = None
+    history: Optional[TrainingHistory] = None
+    on_disk: bool = False
+    last_checkpoint_iteration: int = -1
+    remaining: Optional[int] = None
+    done: bool = False
+
+
 class SceneFleet:
     """Trains and evaluates many scenes under one shared configuration.
 
@@ -129,6 +168,10 @@ class SceneFleet:
     ----------
     datasets:
         Scene datasets to train on (one independent model per scene).
+        Scene names must be unique: per-scene RNG streams are derived from
+        the name, so duplicates would silently train on identical
+        pixel/sample streams (and ``FleetResult.result_for`` could only
+        ever find the first).
     config:
         Shared training configuration.
     seed:
@@ -139,28 +182,163 @@ class SceneFleet:
     n_workers:
         0 or 1 trains in-process with round-robin scheduling; larger values
         dispatch whole scenes to a ``multiprocessing`` pool of that size.
+        Checkpointing and eviction are round-robin features: when
+        ``checkpoint_dir`` is set the fleet always schedules in-process.
     slice_iterations:
         Round-robin slice width: how many consecutive iterations one scene
         runs before the scheduler moves to the next scene.
+    checkpoint_every:
+        Checkpoint each scene whenever it has accumulated this many
+        iterations since its last checkpoint (requires ``checkpoint_dir``).
+        Regardless of this knob, every scene is checkpointed at the end of
+        the run and when evicted, so an interrupted ``train()`` can always
+        be :meth:`resume`-d from its last completed run.
+    checkpoint_dir:
+        Directory for per-scene checkpoint files (``<scene>.ckpt.npz``),
+        created on demand.  Enables :meth:`resume` and eviction.
+    max_resident_scenes:
+        Upper bound on simultaneously resident trainers (requires
+        ``checkpoint_dir``).  Over-cap scenes are checkpointed to disk and
+        reloaded on their next slice, bounding memory to
+        ``max_resident_scenes`` models regardless of fleet size.
     """
 
     def __init__(self, datasets: Sequence[SceneDataset], config: Instant3DConfig,
-                 seed: int = 0, n_workers: int = 0, slice_iterations: int = 25):
+                 seed: int = 0, n_workers: int = 0, slice_iterations: int = 25,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_dir: Optional[Union[str, Path]] = None,
+                 max_resident_scenes: Optional[int] = None):
         if not datasets:
             raise ValueError("SceneFleet needs at least one dataset")
         if slice_iterations < 1:
             raise ValueError("slice_iterations must be >= 1")
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
+        names = [dataset.name for dataset in datasets]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate scene names in fleet: {duplicates} — per-scene "
+                "RNG streams are derived from the scene name, so duplicates "
+                "would train on identical pixel/sample streams")
+        for name in names:
+            # Names become checkpoint file names (<name>.ckpt.npz); path
+            # separators or relative components would escape checkpoint_dir.
+            if not name or name in (".", "..") or any(
+                    sep in name for sep in ("/", "\\", "\0")):
+                raise ValueError(
+                    f"scene name {name!r} is not usable as a checkpoint "
+                    "file name (empty, relative, or contains a path "
+                    "separator)")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 or None")
+        if max_resident_scenes is not None and max_resident_scenes < 1:
+            raise ValueError("max_resident_scenes must be >= 1 or None")
+        if checkpoint_dir is None and (checkpoint_every is not None
+                                       or max_resident_scenes is not None):
+            raise ValueError(
+                "checkpoint_every/max_resident_scenes require a checkpoint_dir")
         self.datasets = list(datasets)
         self.config = config
         self.seed = seed
         self.n_workers = n_workers
         self.slice_iterations = slice_iterations
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.max_resident_scenes = max_resident_scenes
+        #: Cumulative trainer evictions across this fleet's runs.
+        self.evictions = 0
 
     @property
     def scene_names(self) -> List[str]:
         return [dataset.name for dataset in self.datasets]
+
+    # -- checkpoint plumbing -------------------------------------------------
+    def checkpoint_path(self, scene_name: str) -> Path:
+        """Checkpoint file for one scene (requires ``checkpoint_dir``)."""
+        if self.checkpoint_dir is None:
+            raise ValueError("this fleet has no checkpoint_dir")
+        return self.checkpoint_dir / f"{scene_name}.ckpt.npz"
+
+    def _save_scene(self, slot: _SceneSlot) -> None:
+        save_trainer_checkpoint(
+            self.checkpoint_path(slot.dataset.name), slot.trainer,
+            history=slot.history, metadata={"seed": int(self.seed)})
+        slot.last_checkpoint_iteration = slot.trainer.iteration
+        slot.on_disk = True
+
+    def _acquire(self, slot: _SceneSlot) -> None:
+        """Make the slot's trainer resident (build fresh or restore)."""
+        if slot.trainer is not None:
+            return
+        trainer = Trainer(DecoupledRadianceField(self.config, seed=self.seed),
+                          slot.dataset, config=self.config, seed=self.seed)
+        if slot.on_disk:
+            path = self.checkpoint_path(slot.dataset.name)
+            if slot.history is None:
+                # Cross-process resume: the history lives in the checkpoint.
+                slot.history = TrainingHistory()
+                metadata = load_trainer_checkpoint(path, trainer,
+                                                   history=slot.history)
+            else:
+                # Re-acquire after in-run eviction: the in-memory history is
+                # already current, only the trainer state is restored.
+                metadata = load_trainer_checkpoint(path, trainer)
+            if metadata.get("scene") != slot.dataset.name:
+                raise CheckpointError(
+                    f"checkpoint {path} was written for scene "
+                    f"{metadata.get('scene')!r}, not {slot.dataset.name!r}")
+            if metadata.get("seed") is not None and metadata["seed"] != self.seed:
+                raise CheckpointError(
+                    f"checkpoint {path} was written with seed "
+                    f"{metadata['seed']}, fleet uses seed {self.seed}")
+            slot.last_checkpoint_iteration = trainer.iteration
+        else:
+            if slot.history is None:
+                slot.history = TrainingHistory()
+            slot.last_checkpoint_iteration = trainer.iteration
+        slot.trainer = trainer
+
+    def _release(self, slot: _SceneSlot) -> None:
+        """Drop a resident trainer whose state is already safe (or final)."""
+        slot.trainer = None
+
+    def _evict(self, slot: _SceneSlot) -> None:
+        """Checkpoint a resident trainer to disk and drop it from memory."""
+        if slot.trainer is None:
+            return
+        if not slot.on_disk or slot.trainer.iteration != slot.last_checkpoint_iteration:
+            self._save_scene(slot)
+        self._release(slot)
+        self.evictions += 1
+
+    def _make_room(self, slots: List[_SceneSlot], incoming: int) -> None:
+        """Evict residents so acquiring ``incoming`` stays within the cap.
+
+        Runs *before* the incoming trainer is built, so peak residency never
+        exceeds ``max_resident_scenes`` — not even transiently during a
+        slice.  Victims are chosen by distance to their next round-robin
+        turn, farthest first (finished scenes count as farthest of all) —
+        the cyclic-access analogue of LRU.
+        """
+        cap = self.max_resident_scenes
+        if cap is None or slots[incoming].trainer is not None:
+            return
+        resident = [i for i, slot in enumerate(slots) if slot.trainer is not None]
+        if len(resident) < cap:
+            return
+        n = len(slots)
+
+        def turns_until_needed(index: int) -> int:
+            if slots[index].done:
+                return n + 1
+            return (index - incoming) % n
+
+        victims = sorted(resident, key=turns_until_needed,
+                         reverse=True)[:len(resident) - (cap - 1)]
+        for index in victims:
+            self._evict(slots[index])
 
     # -- scheduling strategies ----------------------------------------------
     def _jobs(self, n_iterations: int, eval_every: Optional[int],
@@ -174,28 +352,60 @@ class SceneFleet:
         ]
 
     def _train_round_robin(self, n_iterations: int, eval_every: Optional[int],
-                           eval_views: int, eval_samples: int) -> List[TrainingResult]:
-        """Interleave slices of iterations across all scenes' trainers."""
-        trainers = [
-            Trainer(DecoupledRadianceField(self.config, seed=self.seed),
-                    dataset, config=self.config, seed=self.seed)
-            for dataset in self.datasets
-        ]
-        histories = [TrainingHistory() for _ in trainers]
-        remaining = [n_iterations] * len(trainers)
-        while any(remaining):
-            for idx, trainer in enumerate(trainers):
-                if not remaining[idx]:
+                           eval_views: int, eval_samples: int,
+                           resume: bool = False) -> List[TrainingResult]:
+        """Interleave slices of iterations across all scenes' trainers.
+
+        With ``resume=True`` every scene whose checkpoint file exists is
+        restored from it and trains only its remaining
+        ``n_iterations - iteration`` iterations; the rest start fresh.
+        """
+        slots = [_SceneSlot(dataset=dataset) for dataset in self.datasets]
+        if resume:
+            for slot in slots:
+                slot.on_disk = self.checkpoint_path(slot.dataset.name).exists()
+        while not all(slot.done for slot in slots):
+            for idx, slot in enumerate(slots):
+                if slot.done:
                     continue
-                steps = min(self.slice_iterations, remaining[idx])
-                trainer.run_steps(steps, histories[idx], eval_every=eval_every,
-                                  eval_views=eval_views, eval_samples=eval_samples)
-                remaining[idx] -= steps
-        return [
-            trainer.finalize(history, eval_views=eval_views,
-                             eval_samples=eval_samples)
-            for trainer, history in zip(trainers, histories)
-        ]
+                self._make_room(slots, idx)
+                self._acquire(slot)
+                if slot.remaining is None:
+                    completed = slot.trainer.iteration
+                    if completed > n_iterations:
+                        raise CheckpointError(
+                            f"scene {slot.dataset.name!r} was checkpointed at "
+                            f"iteration {completed}, beyond the requested "
+                            f"{n_iterations}")
+                    slot.remaining = n_iterations - completed
+                if slot.remaining > 0:
+                    steps = min(self.slice_iterations, slot.remaining)
+                    slot.trainer.run_steps(steps, slot.history,
+                                           eval_every=eval_every,
+                                           eval_views=eval_views,
+                                           eval_samples=eval_samples)
+                    slot.remaining -= steps
+                    if (self.checkpoint_every is not None
+                            and slot.trainer.iteration - slot.last_checkpoint_iteration
+                            >= self.checkpoint_every):
+                        self._save_scene(slot)
+                slot.done = slot.remaining == 0
+        results = []
+        for idx, slot in enumerate(slots):
+            self._make_room(slots, idx)
+            self._acquire(slot)
+            if self.checkpoint_dir is not None and (
+                    not slot.on_disk
+                    or slot.trainer.iteration != slot.last_checkpoint_iteration):
+                self._save_scene(slot)
+            results.append(slot.trainer.finalize(slot.history,
+                                                 eval_views=eval_views,
+                                                 eval_samples=eval_samples))
+            if self.max_resident_scenes is not None:
+                # The result is captured; free the model without re-saving
+                # (the final checkpoint above already holds this state).
+                self._release(slot)
+        return results
 
     def _train_process_pool(self, jobs: List[_SceneJob]) -> Optional[List[TrainingResult]]:
         """Run whole scenes in a worker pool; None if the pool is unavailable."""
@@ -213,23 +423,25 @@ class SceneFleet:
         with pool:
             return pool.map(_run_scene_job, jobs)
 
-    # -- entry point ---------------------------------------------------------
-    def train(self, n_iterations: int, eval_every: Optional[int] = None,
-              eval_views: int = 1, eval_samples: int = 48) -> FleetResult:
-        """Train every scene for ``n_iterations`` and aggregate the results."""
+    # -- entry points --------------------------------------------------------
+    def _run(self, n_iterations: int, eval_every: Optional[int],
+             eval_views: int, eval_samples: int, resume: bool) -> FleetResult:
         if n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
         start = time.perf_counter()
+        evictions_before = self.evictions
         schedule = "round_robin"
         results: Optional[List[TrainingResult]] = None
-        if self.n_workers > 1 and len(self.datasets) > 1:
+        if (not resume and self.checkpoint_dir is None
+                and self.n_workers > 1 and len(self.datasets) > 1):
             results = self._train_process_pool(
                 self._jobs(n_iterations, eval_every, eval_views, eval_samples))
             if results is not None:
                 schedule = "process_pool"
         if results is None:
             results = self._train_round_robin(n_iterations, eval_every,
-                                              eval_views, eval_samples)
+                                              eval_views, eval_samples,
+                                              resume=resume)
         wall = time.perf_counter() - start
         return FleetResult(
             scene_names=self.scene_names,
@@ -238,7 +450,34 @@ class SceneFleet:
             n_workers=self.n_workers if schedule == "process_pool" else 0,
             n_iterations=n_iterations,
             schedule=schedule,
+            evictions=self.evictions - evictions_before,
         )
+
+    def train(self, n_iterations: int, eval_every: Optional[int] = None,
+              eval_views: int = 1, eval_samples: int = 48) -> FleetResult:
+        """Train every scene for ``n_iterations`` and aggregate the results.
+
+        With a ``checkpoint_dir``, every scene's final state is on disk when
+        this returns, so a later :meth:`resume` (possibly from a different
+        process) can extend the run bit-identically.
+        """
+        return self._run(n_iterations, eval_every, eval_views, eval_samples,
+                         resume=False)
+
+    def resume(self, n_iterations: int, eval_every: Optional[int] = None,
+               eval_views: int = 1, eval_samples: int = 48) -> FleetResult:
+        """Restore the fleet from ``checkpoint_dir`` and train *to*
+        ``n_iterations`` total per scene.
+
+        Scenes with a checkpoint continue from their saved iteration; scenes
+        without one start fresh.  The completed run is bit-identical (same
+        losses, parameters and PSNRs) to an uninterrupted
+        ``train(n_iterations)`` over the same fleet.
+        """
+        if self.checkpoint_dir is None:
+            raise ValueError("resume() requires a fleet with a checkpoint_dir")
+        return self._run(n_iterations, eval_every, eval_views, eval_samples,
+                         resume=True)
 
 
 def train_fleet(datasets: Sequence[SceneDataset], config: Instant3DConfig,

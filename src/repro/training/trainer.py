@@ -21,7 +21,7 @@ to the pre-pipeline trainer for differential testing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.pipeline import RenderPipeline
 from repro.nn.optim import Adam
 from repro.training.metrics import EvaluationResult, evaluate_model
-from repro.utils.seeding import derive_rng, derive_seed
+from repro.utils.seeding import derive_rng, derive_seed, get_rng_state, set_rng_state
 
 
 @dataclass
@@ -88,6 +88,31 @@ class TrainingHistory:
         self.eval_iterations.append(iteration)
         self.eval_rgb_psnrs.append(result.rgb_psnr)
         self.eval_depth_psnrs.append(result.depth_psnr)
+
+    # -- serialisation -------------------------------------------------------
+    _FIELDS = (
+        ("iterations", np.int64), ("losses", np.float64),
+        ("batch_psnrs", np.float64), ("queries_total", np.int64),
+        ("queries_kept", np.int64), ("occupancy_fractions", np.float64),
+        ("eval_iterations", np.int64), ("eval_rgb_psnrs", np.float64),
+        ("eval_depth_psnrs", np.float64),
+    )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of every recorded series.
+
+        Series are stored as int64/float64 arrays, which round-trip the
+        Python ints/floats they were recorded as exactly — so a resumed
+        run's loss history is bit-identical to an uninterrupted one's.
+        """
+        return {name: np.asarray(getattr(self, name), dtype=dtype)
+                for name, dtype in self._FIELDS}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict`, replacing all recorded series."""
+        for name, dtype in self._FIELDS:
+            cast = int if np.issubdtype(dtype, np.integer) else float
+            getattr(self, name)[:] = [cast(v) for v in state[name]]
 
 
 @dataclass
@@ -180,6 +205,66 @@ class Trainer:
         self.occupancy.update(self.model.query_density,
                               n_samples=config.occupancy_refresh_samples)
         self.occupancy_refresh_points += config.occupancy_refresh_samples
+
+    # -- checkpointing ---------------------------------------------------------
+    def state_dict(self, history: Optional[TrainingHistory] = None
+                   ) -> Dict[str, Any]:
+        """Serialisable snapshot of everything a resumed run needs.
+
+        Captures the model parameters, both optimiser states (Adam moments
+        and step counts), the occupancy grid (density planes, update/mark
+        counters and probe-RNG state), the pixel/sample RNG streams and the
+        iteration counters.  With ``history`` given, the recorded loss curve
+        is included too.  Restoring this snapshot into a freshly built
+        trainer (same config, dataset and seed) and continuing produces
+        bit-identical iterations to a run that was never interrupted —
+        checkpoints must be taken *between* ``train_step`` calls (forward
+        caches are transient and deliberately not captured).
+        """
+        state: Dict[str, Any] = {
+            "iteration": int(self.iteration),
+            "density_updates": int(self.density_updates),
+            "color_updates": int(self.color_updates),
+            "occupancy_refresh_points": int(self.occupancy_refresh_points),
+            "pixel_rng": get_rng_state(self._pixel_rng),
+            "sample_rng": get_rng_state(self._sample_rng),
+            "model": self.model.state_dict(),
+            "density_optimizer": self.density_optimizer.state_dict(),
+            "color_optimizer": self.color_optimizer.state_dict(),
+            "occupancy": (self.occupancy.state_dict()
+                          if self.occupancy is not None else None),
+        }
+        if history is not None:
+            state["history"] = history.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any],
+                        history: Optional[TrainingHistory] = None) -> None:
+        """Restore :meth:`state_dict` into this (freshly built) trainer.
+
+        When ``history`` is given it is filled from the snapshot's recorded
+        series; a snapshot saved without a history then raises.
+        """
+        if (state["occupancy"] is None) != (self.occupancy is None):
+            raise ValueError(
+                "checkpoint culling state does not match this trainer's "
+                "configuration (culling_enabled mismatch)")
+        self.model.load_state_dict(state["model"])
+        self.density_optimizer.load_state_dict(state["density_optimizer"])
+        self.color_optimizer.load_state_dict(state["color_optimizer"])
+        if self.occupancy is not None:
+            self.occupancy.load_state_dict(state["occupancy"])
+        set_rng_state(self._pixel_rng, state["pixel_rng"])
+        set_rng_state(self._sample_rng, state["sample_rng"])
+        self.iteration = int(state["iteration"])
+        self.density_updates = int(state["density_updates"])
+        self.color_updates = int(state["color_updates"])
+        self.occupancy_refresh_points = int(state["occupancy_refresh_points"])
+        if history is not None:
+            if "history" not in state:
+                raise ValueError(
+                    "checkpoint was saved without a training history")
+            history.load_state_dict(state["history"])
 
     # -- one iteration ---------------------------------------------------------
     def train_step(self) -> Dict[str, float]:

@@ -9,7 +9,9 @@ are reproducible and sub-systems do not share RNG state accidentally.
 
 from __future__ import annotations
 
+import copy
 import hashlib
+from typing import Any, Dict
 
 import numpy as np
 
@@ -37,3 +39,19 @@ def derive_rng(parent_seed: int, key: str) -> np.random.Generator:
     fully deterministic across runs and platforms.
     """
     return np.random.default_rng(derive_seed(parent_seed, key))
+
+
+def get_rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """Snapshot a generator's bit-generator state as a JSON-serialisable dict.
+
+    The state of numpy's default PCG64 bit generator is a plain nested dict
+    of strings and (arbitrary-precision) integers, so it round-trips through
+    the checkpoint manifest exactly — restoring it resumes the stream
+    bit-identically, which the interrupt/resume differential tests rely on.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a generator's bit-generator state captured by :func:`get_rng_state`."""
+    rng.bit_generator.state = copy.deepcopy(state)

@@ -76,6 +76,22 @@ class TestSceneFleet:
             np.testing.assert_array_equal(a.history.losses, b.history.losses)
             assert a.rgb_psnr == b.rgb_psnr
 
+    def test_duplicate_scene_names_rejected(self, fleet_datasets, fleet_config):
+        """Regression: per-scene RNG streams derive from the scene *name*,
+        so duplicate names would silently train on identical pixel/sample
+        streams (and ``result_for`` could only ever find the first)."""
+        with pytest.raises(ValueError, match="duplicate scene names"):
+            SceneFleet([fleet_datasets[0], fleet_datasets[0]], fleet_config)
+
+    def test_path_hostile_scene_names_rejected(self, fleet_datasets,
+                                               fleet_config):
+        """Scene names become checkpoint file names — separators must not
+        let a checkpoint escape (or collide outside) checkpoint_dir."""
+        import dataclasses as _dc
+        hostile = _dc.replace(fleet_datasets[0], name="../escape")
+        with pytest.raises(ValueError, match="checkpoint file name"):
+            SceneFleet([hostile], fleet_config)
+
     def test_invalid_arguments(self, fleet_datasets, fleet_config):
         with pytest.raises(ValueError):
             SceneFleet([], fleet_config)

@@ -71,6 +71,36 @@ class TestOccupancyGridUpdates:
         grid.mark_occupied(np.array([[0.9, 0.9, 0.9]]), density=2.0)
         assert grid.is_occupied(np.array([[0.9, 0.9, 0.9]]))[0]
 
+    def test_mark_occupied_alone_enables_culling(self):
+        """Regression: a grid seeded *only* via mark_occupied must cull.
+
+        Previously only ``update()`` bumped the grid's data counter, so
+        ``filter_samples`` treated a marked-but-never-updated grid as empty
+        and kept everything — the forced occupancy silently never culled.
+        """
+        grid = OccupancyGrid(resolution=8, occupancy_threshold=0.5)
+        assert not grid.has_data
+        grid.mark_occupied(np.array([[0.9, 0.9, 0.9]]), density=2.0)
+        assert grid.has_data and grid.n_marks == 1 and grid.n_updates == 0
+        points = np.array([[0.9, 0.9, 0.9], [0.1, 0.1, 0.1], [0.5, 0.5, 0.5]])
+        keep = grid.filter_samples(points)
+        np.testing.assert_array_equal(keep, [True, False, False])
+        pruned = grid.expected_queries_per_iteration(n_rays=100, n_samples=10)
+        assert pruned < 100 * 10
+
+    def test_occupancy_view_is_cached_and_invalidated(self):
+        """Perf fix: the binary view is computed once per density change."""
+        grid = OccupancyGrid(resolution=8, occupancy_threshold=0.5)
+        first = grid.occupancy
+        assert grid.occupancy is first                 # cached between reads
+        grid.mark_occupied(np.array([[0.9, 0.9, 0.9]]), density=2.0)
+        marked = grid.occupancy
+        assert marked is not first                     # invalidated by mark
+        assert marked.sum() == 1
+        grid.update(lambda p: np.zeros(p.shape[0]), n_samples=64,
+                    rng=new_rng(0))
+        assert grid.occupancy is not marked            # invalidated by update
+
     def test_update_shape_mismatch_raises(self):
         grid = OccupancyGrid(resolution=8)
         with pytest.raises(ValueError):
