@@ -1,6 +1,6 @@
-"""Throughput benchmark: fused grid engine, culled pipeline, fleet, checkpoints.
+"""Throughput benchmark: grid engine, culled pipeline, fleet, checkpoints, precision.
 
-Four measurements back the engine, pipeline and io layers:
+Five measurements back the engine, pipeline, io and precision layers:
 
 1. **Grid engine** — forward + backward points/sec of the fused stacked-kernel
    engine versus the original per-level loop on a 65k-point batch, with a
@@ -18,6 +18,13 @@ Four measurements back the engine, pipeline and io layers:
    single-file trainer checkpoint, a round-trip exactness check, and one
    fleet interrupt → resume cycle (with ``max_resident_scenes=1`` eviction)
    asserted to finish bit-identically to an uninterrupted run.
+5. **Precision policy** — the ``compute_dtype="float32"`` fast path against
+   the bit-exact float64 reference: end-to-end train throughput at a
+   paper-shaped batch (interleaved best-of timing), PSNR parity at the
+   standard learning scale, a differential check that the float64 policy
+   still reproduces the frozen pre-policy trainer exactly, and the
+   workspace-arena allocation ledger (steady-state arena hit rate, peak
+   per-iteration temporary bytes via tracemalloc).
 
 Results are printed and written to ``BENCH_throughput.json`` next to the
 repository root.  ``--smoke`` shrinks all measurements for CI (< 30 s).
@@ -379,6 +386,153 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+#: "Large" temporary threshold for the precision section's allocation
+#: ledger: one MiB — several times the dense float64 sample plane at the
+#: standard bench scale.  A steady-state iteration whose tracemalloc peak
+#: stays below this cannot have made any allocation that big.
+LARGE_ALLOC_THRESHOLD = 1 << 20
+
+
+def bench_precision(n_iterations: int, image_size: int,
+                    compute_batch: int, compute_samples: int,
+                    timing_iters: int, reference_steps: int = 10) -> dict:
+    """float32 fast path vs the bit-exact float64 reference policy.
+
+    Three sub-measurements:
+
+    * **throughput** at a paper-shaped compute batch
+      (``compute_batch x compute_samples`` rays/samples): interleaved
+      best-of per-iteration wall time for the float64 policy, the float32
+      policy (both with the workspace arena) and the float64 policy with
+      ``reuse_workspace=False`` (the pre-arena allocation behaviour);
+    * **quality** at the standard learning scale: full training runs under
+      both policies (identical RNG draws) and their final RGB PSNR;
+    * **allocation ledger** at the standard scale: steady-state arena
+      hit/miss counters plus tracemalloc's per-iteration peak of transient
+      allocations, for the float32+arena fast path and the preallocating
+      reference.
+    """
+    import tracemalloc
+
+    dataset = nerf_synthetic_like(["lego"], n_train_views=6, n_test_views=1,
+                                  image_size=image_size)[0]
+    small64 = bench_config(0.25, 0.5)                      # float64 default
+    small32 = dataclasses.replace(small64, compute_dtype="float32")
+    big64 = dataclasses.replace(small64, batch_pixels=compute_batch,
+                                n_samples_per_ray=compute_samples)
+    big32 = dataclasses.replace(big64, compute_dtype="float32")
+    big64_noarena = dataclasses.replace(big64, reuse_workspace=False)
+
+    # Differential: the float64 policy must still reproduce the frozen
+    # pre-policy trainer bit-exactly (same oracle as the culling section).
+    reference = _reference_dense_losses(dataset, small64, 0, reference_steps)
+    probe = Trainer(DecoupledRadianceField(small64, seed=0), dataset,
+                    config=small64, seed=0)
+    float64_matches_reference = (
+        [probe.train_step()["loss"] for _ in range(reference_steps)]
+        == reference)
+    if not float64_matches_reference:
+        raise AssertionError(
+            "float64 policy deviates from the reference trainer")
+
+    # float32 consumes the same RNG draws: track the loss divergence.
+    probe32 = Trainer(DecoupledRadianceField(small32, seed=0), dataset,
+                      config=small32, seed=0)
+    losses32 = [probe32.train_step()["loss"] for _ in range(reference_steps)]
+    loss_rel_divergence = float(max(
+        abs(a - b) / max(abs(b), 1e-12) for a, b in zip(losses32, reference)))
+
+    # Throughput at the paper-shaped compute batch, interleaved best-of.
+    def _trainer(config):
+        trainer = Trainer(DecoupledRadianceField(config, seed=0), dataset,
+                          config=config, seed=0)
+        for _ in range(3):
+            trainer.train_step()                          # shape warm-up
+        return trainer
+
+    timed = {"float64": _trainer(big64), "float32": _trainer(big32),
+             "float64_reference": _trainer(big64_noarena)}
+    best = {name: float("inf") for name in timed}
+    for _ in range(timing_iters):
+        for name, trainer in timed.items():
+            best[name] = min(best[name], _timed(trainer.train_step))
+    # Headline: the shipped fast path (float32 + arena) against the float64
+    # *reference path* — the execution profile of the frozen pre-policy
+    # trainer (which allocates fresh temporaries, i.e. reuse_workspace
+    # off), the same oracle the bit-identity differentials run against.
+    # The two decomposition ratios hold one knob fixed at a time.
+    speedup = best["float64_reference"] / best["float32"]
+    speedup_precision_only = best["float64"] / best["float32"]
+    speedup_arena_only = best["float64_reference"] / best["float64"]
+
+    # Quality: full runs at the standard learning scale.
+    _, result64, s64 = _timed_training_run(dataset, small64, n_iterations)
+    _, result32, s32 = _timed_training_run(dataset, small32, n_iterations)
+
+    # Allocation ledger at the standard scale (train steps only, steady
+    # state): arena counters + tracemalloc peak of transient allocations.
+    def _peak_temporaries(config, steps: int = 5) -> dict:
+        trainer = Trainer(DecoupledRadianceField(config, seed=0), dataset,
+                          config=config, seed=0)
+        for _ in range(3):
+            trainer.train_step()
+        if trainer.arena is not None:
+            trainer.arena.reset_stats()
+        tracemalloc.start()
+        trainer.train_step()                              # tracer warm-up
+        peaks = []
+        for _ in range(steps):
+            tracemalloc.reset_peak()
+            before = tracemalloc.get_traced_memory()[0]
+            trainer.train_step()
+            peaks.append(tracemalloc.get_traced_memory()[1] - before)
+        tracemalloc.stop()
+        arena = trainer.arena
+        stats = {
+            "peak_temporary_bytes_per_iter": float(np.mean(peaks)),
+            "arena_hit_rate": arena.hit_rate if arena is not None else 0.0,
+            "arena_misses_steady": arena.misses if arena is not None else -1,
+            "arena_bytes": arena.total_bytes if arena is not None else 0,
+        }
+        return stats
+
+    fast_alloc = _peak_temporaries(small32)
+    ref_alloc = _peak_temporaries(
+        dataclasses.replace(small64, reuse_workspace=False))
+    large_alloc_free = (
+        fast_alloc["arena_misses_steady"] == 0
+        and fast_alloc["peak_temporary_bytes_per_iter"] < LARGE_ALLOC_THRESHOLD)
+    return {
+        "compute_batch_pixels": compute_batch,
+        "compute_samples_per_ray": compute_samples,
+        "image_size": image_size,
+        "n_iterations": n_iterations,
+        "float64_matches_reference": bool(float64_matches_reference),
+        "loss_rel_divergence": loss_rel_divergence,
+        "timing_ms_per_iter": {name: t * 1e3 for name, t in best.items()},
+        "float32_speedup": speedup,
+        "float32_speedup_precision_only": speedup_precision_only,
+        "arena_speedup_float64": speedup_arena_only,
+        "quality": {
+            "train_s_float64": s64,
+            "train_s_float32": s32,
+            "small_scale_speedup": s64 / max(s32, 1e-9),
+            "rgb_psnr_float64": result64.rgb_psnr,
+            "rgb_psnr_float32": result32.rgb_psnr,
+            "psnr_gap_db": result64.rgb_psnr - result32.rgb_psnr,
+        },
+        "allocation": {
+            "large_alloc_threshold_bytes": LARGE_ALLOC_THRESHOLD,
+            "float32_arena": fast_alloc,
+            "float64_preallocating_reference": ref_alloc,
+            "large_allocs_per_iter_steady": 0 if large_alloc_free else float(
+                fast_alloc["peak_temporary_bytes_per_iter"]
+                // LARGE_ALLOC_THRESHOLD),
+            "steady_state_large_alloc_free": bool(large_alloc_free),
+        },
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -395,11 +549,15 @@ def main() -> None:
         fleet_scenes, fleet_iterations, fleet_image = 2, 20, 20
         culling_iterations, culling_image = 120, 20
         ckpt_iterations, ckpt_image = 24, 20
+        precision_iterations, precision_image = 60, 20
+        precision_batch, precision_samples, precision_timing = 512, 32, 6
     else:
         engine_points, repeats = ENGINE_BATCH, 9
         fleet_scenes, fleet_iterations, fleet_image = 3, 80, 28
         culling_iterations, culling_image = 150, 28
         ckpt_iterations, ckpt_image = 60, 28
+        precision_iterations, precision_image = 150, 28
+        precision_batch, precision_samples, precision_timing = 2048, 48, 10
 
     engine = bench_grid_engine(engine_points, repeats)
     rows = []
@@ -466,8 +624,37 @@ def main() -> None:
           f"{checkpoint['fleet_total_iterations']} iters, "
           f"{checkpoint['fleet_evictions']} evictions during partial run")
 
+    precision = bench_precision(precision_iterations, precision_image,
+                                precision_batch, precision_samples,
+                                precision_timing)
+    timing = precision["timing_ms_per_iter"]
+    alloc = precision["allocation"]
+    print_report(
+        f"Compute-precision policy ({precision_batch}x{precision_samples} "
+        f"rays x samples per iteration)",
+        ["policy", "ms/iter", "speedup", "RGB PSNR", "peak temp/iter"],
+        [
+            ["float64 reference path",
+             f"{timing['float64_reference']:.1f}", "1.00x",
+             f"{precision['quality']['rgb_psnr_float64']:.2f}",
+             f"{alloc['float64_preallocating_reference']['peak_temporary_bytes_per_iter'] / 1e6:.1f} MB"],
+            ["float64 + arena", f"{timing['float64']:.1f}",
+             f"{precision['arena_speedup_float64']:.2f}x", "", ""],
+            ["float32 + arena (fast path)", f"{timing['float32']:.1f}",
+             f"{precision['float32_speedup']:.2f}x",
+             f"{precision['quality']['rgb_psnr_float32']:.2f}",
+             f"{alloc['float32_arena']['peak_temporary_bytes_per_iter'] / 1e3:.0f} KB"],
+        ],
+    )
+    print(f"float64 matches reference: {precision['float64_matches_reference']}   "
+          f"PSNR gap: {precision['quality']['psnr_gap_db']:+.2f} dB   "
+          f"arena hit rate: {alloc['float32_arena']['arena_hit_rate']:.3f}   "
+          f"steady-state large allocs/iter: "
+          f"{alloc['large_allocs_per_iter_steady']}")
+
     payload = {"engine": engine, "culling": culling, "fleet": fleet,
-               "checkpoint": checkpoint, "smoke": bool(args.smoke)}
+               "checkpoint": checkpoint, "precision": precision,
+               "smoke": bool(args.smoke)}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nWrote {args.output}")
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.grid.hash_encoding import HashGridConfig
+from repro.utils.precision import PRECISION_NAMES, PrecisionPolicy, resolve_policy
 
 
 @dataclass(frozen=True)
@@ -105,8 +106,28 @@ class Instant3DConfig:
     occupancy_threshold: float = 0.01
     occupancy_refresh_samples: int = 4096
     early_termination_tau: Optional[float] = None
+    #: Compute dtype of every batch-proportional hot-path array (grid weight
+    #: planes, renderer compositing, sampling, loss, optimiser scratch).
+    #: ``"float64"`` is the bit-exact reference path every differential test
+    #: anchors to; ``"float32"`` is the fast path (~half the memory traffic,
+    #: see the ``precision`` section of ``BENCH_throughput.json``).  Random
+    #: draws are shared between the two, so runs differ only by arithmetic
+    #: precision.  Parameter storage is float32 under both.
+    compute_dtype: str = "float64"
+    #: Reuse one workspace arena of preallocated buffers for all
+    #: per-iteration temporaries (query planes, MLP activations, compositing
+    #: planes, optimiser scratch): steady-state train steps then perform
+    #: zero large allocations.  Value-neutral — results are bit-identical
+    #: with it on or off; ``False`` restores the pre-arena allocation
+    #: behaviour (the reference execution profile the precision benchmark
+    #: compares against).
+    reuse_workspace: bool = True
 
     def __post_init__(self) -> None:
+        if self.compute_dtype not in PRECISION_NAMES:
+            raise ValueError(
+                f"compute_dtype must be one of {PRECISION_NAMES}, "
+                f"got {self.compute_dtype!r}")
         if self.max_chunk_points is not None and self.max_chunk_points < 1:
             raise ValueError("max_chunk_points must be >= 1 or None")
         if self.occupancy_resolution < 2:
@@ -223,6 +244,12 @@ class Instant3DConfig:
         if density_update_freq is not None:
             kwargs["density_update_freq"] = density_update_freq
         return replace(self, **kwargs)
+
+    # -- precision ---------------------------------------------------------------
+    @property
+    def precision_policy(self) -> PrecisionPolicy:
+        """The :class:`~repro.utils.precision.PrecisionPolicy` of this config."""
+        return resolve_policy(self.compute_dtype)
 
     # -- derived grid configs ------------------------------------------------------
     @property

@@ -20,25 +20,39 @@ from repro.core.config import Instant3DConfig
 from repro.grid.hash_encoding import GridAccessRecord, MultiResHashGrid
 from repro.nn.parameter import Parameter
 from repro.utils.seeding import derive_rng
+from repro.utils.workspace import WorkspaceArena
 
 
 class DecoupledGridEncoder:
-    """A pair of hash grids: a full-size density grid and a scaled color grid."""
+    """A pair of hash grids: a full-size density grid and a scaled color grid.
+
+    Both grids share the config's compute-precision policy; an optional
+    workspace arena (threaded in by the trainer via :meth:`set_arena`) makes
+    their query planes reusable across iterations.
+    """
 
     def __init__(self, config: Instant3DConfig, seed: int = 0):
         self.config = config
+        policy = config.precision_policy
         self.density_grid = MultiResHashGrid(
             config.density_grid_config,
             rng=derive_rng(seed, "density_grid"),
             name="density_grid",
             max_chunk_points=config.max_chunk_points,
+            policy=policy,
         )
         self.color_grid = MultiResHashGrid(
             config.color_grid_config,
             rng=derive_rng(seed, "color_grid"),
             name="color_grid",
             max_chunk_points=config.max_chunk_points,
+            policy=policy,
         )
+
+    def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
+        """Attach a workspace arena to both branch grids."""
+        self.density_grid.set_arena(arena)
+        self.color_grid.set_arena(arena)
 
     # -- forward / backward -------------------------------------------------------
     def encode_density(self, points_unit: np.ndarray) -> np.ndarray:

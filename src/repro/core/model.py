@@ -29,6 +29,7 @@ from repro.nn.activations import Sigmoid, TruncatedExp
 from repro.nn.mlp import MLP
 from repro.nn.parameter import Parameter
 from repro.utils.seeding import derive_rng
+from repro.utils.workspace import WorkspaceArena, arena_buffer
 
 
 @dataclass
@@ -66,6 +67,37 @@ class DecoupledRadianceField:
         self.density_activation = TruncatedExp()
         self.color_activation = Sigmoid()
         self._last_cache: Optional[QueryCache] = None
+        # Compute-precision policy from the config: the grids got it at
+        # construction; MLP activations pick it up here (Linear compute is
+        # float32 under both policies — storage precision).
+        self.policy = config.precision_policy
+        self.density_mlp.set_policy(self.policy)
+        self.color_mlp.set_policy(self.policy)
+        self.density_activation.set_policy(self.policy)
+        self.color_activation.set_policy(self.policy)
+        self.arena: Optional[WorkspaceArena] = None
+        # Parameter lists are fixed after construction; build them once
+        # instead of re-concatenating on every zero_grad/step.
+        self._density_params: List[Parameter] = (
+            self.encoder.density_parameters() + self.density_mlp.parameters())
+        self._color_params: List[Parameter] = (
+            self.encoder.color_parameters() + self.color_mlp.parameters())
+        self._params: List[Parameter] = (
+            self._density_params + self._color_params)
+        self._n_parameters = sum(p.size for p in self._params)
+
+    def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
+        """Thread a workspace arena through grids, MLP heads and activations.
+
+        Attached by the trainer so steady-state queries reuse one set of
+        buffers; pass ``None`` to restore fresh-allocation semantics.
+        """
+        self.arena = arena
+        self.encoder.set_arena(arena)
+        self.density_mlp.set_arena(arena)
+        self.color_mlp.set_arena(arena)
+        self.density_activation.set_arena(arena, "density_act")
+        self.color_activation.set_arena(arena, "color_act")
 
     # -- forward ------------------------------------------------------------------
     def query(self, points_unit: np.ndarray, dirs: np.ndarray
@@ -75,8 +107,9 @@ class DecoupledRadianceField:
         This is Step ❸ of the training pipeline: Step ❸-① is the two grid
         interpolations, Step ❸-② the two small MLPs.
         """
-        points_unit = np.asarray(points_unit, dtype=np.float64)
-        dirs = np.asarray(dirs, dtype=np.float64)
+        dtype = self.policy.dtype
+        points_unit = np.asarray(points_unit, dtype=dtype)
+        dirs = np.asarray(dirs, dtype=dtype)
         if points_unit.shape != dirs.shape or points_unit.shape[-1] != 3:
             raise ValueError("points_unit and dirs must both have shape (N, 3)")
 
@@ -85,8 +118,15 @@ class DecoupledRadianceField:
         sigma = self.density_activation.forward(raw_sigma)[:, 0]
 
         color_emb = self.encoder.encode_color(points_unit)
-        dir_enc = spherical_harmonics_encoding(dirs, degree=self.config.sh_degree)
-        raw_rgb = self.color_mlp.forward(np.concatenate([color_emb, dir_enc], axis=1))
+        dir_enc = spherical_harmonics_encoding(dirs, degree=self.config.sh_degree,
+                                               dtype=dtype, arena=self.arena)
+        color_in = arena_buffer(self.arena, "model/color_in",
+                                (color_emb.shape[0],
+                                 color_emb.shape[1] + dir_enc.shape[1]),
+                                np.float32)
+        color_in[:, :color_emb.shape[1]] = color_emb
+        color_in[:, color_emb.shape[1]:] = dir_enc
+        raw_rgb = self.color_mlp.forward(color_in)
         rgb = self.color_activation.forward(raw_rgb)
 
         self._last_cache = QueryCache(
@@ -104,7 +144,7 @@ class DecoupledRadianceField:
         :meth:`query`.  It reuses the density branch's forward buffers, so it
         must not be called between a :meth:`query` and its :meth:`backward`.
         """
-        points_unit = np.asarray(points_unit, dtype=np.float64)
+        points_unit = np.asarray(points_unit, dtype=self.policy.dtype)
         if points_unit.ndim != 2 or points_unit.shape[-1] != 3:
             raise ValueError("points_unit must have shape (N, 3)")
         density_emb = self.encoder.encode_density(points_unit)
@@ -139,18 +179,19 @@ class DecoupledRadianceField:
 
     # -- parameters ---------------------------------------------------------------
     def density_parameters(self) -> List[Parameter]:
-        """Parameters updated on density-branch update iterations."""
-        return self.encoder.density_parameters() + self.density_mlp.parameters()
+        """Parameters updated on density-branch update iterations (cached)."""
+        return self._density_params
 
     def color_parameters(self) -> List[Parameter]:
-        """Parameters updated on color-branch update iterations."""
-        return self.encoder.color_parameters() + self.color_mlp.parameters()
+        """Parameters updated on color-branch update iterations (cached)."""
+        return self._color_params
 
     def parameters(self) -> List[Parameter]:
-        return self.density_parameters() + self.color_parameters()
+        """All trainable parameters (cached list — do not mutate)."""
+        return self._params
 
     def zero_grad(self) -> None:
-        for param in self.parameters():
+        for param in self._params:
             param.zero_grad()
 
     # -- serialisation ----------------------------------------------------------------
@@ -188,4 +229,4 @@ class DecoupledRadianceField:
 
     @property
     def n_parameters(self) -> int:
-        return sum(p.size for p in self.parameters())
+        return self._n_parameters

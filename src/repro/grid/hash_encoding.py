@@ -29,6 +29,8 @@ from repro.grid.interpolation import (
     trilinear_weights,
 )
 from repro.nn.parameter import Parameter
+from repro.utils.precision import PrecisionPolicy, resolve_policy
+from repro.utils.workspace import WorkspaceArena, arena_buffer, arena_zeros
 
 #: Bytes per stored feature (FP16 in the accelerator and in Instant-NGP).
 FEATURE_BYTES = 2
@@ -161,11 +163,12 @@ class _PlanesAccessRecord(GridAccessRecord):
     """Access record backed by the fused engine's corner planes.
 
     The fused engine stores *global* (level-offset) addresses in contiguous
-    ``(8, N, L)`` corner planes; the per-level local ``(N, 8)`` address
-    arrays of the :class:`GridAccessRecord` interface are materialised
-    lazily on first access, keeping trace bookkeeping off the query hot
-    path.  All derived views are value-identical to the per-level engine's
-    record.
+    level-major ``(8, L, N)`` corner planes (one contiguous ``(N,)`` row per
+    corner and level, so every engine pass streams full cache lines); the
+    per-level local ``(N, 8)`` address arrays of the
+    :class:`GridAccessRecord` interface are materialised lazily on first
+    access, keeping trace bookkeeping off the query hot path.  All derived
+    views are value-identical to the per-level engine's record.
     """
 
     def __init__(self, global_planes: np.ndarray, weight_planes: np.ndarray,
@@ -183,7 +186,7 @@ class _PlanesAccessRecord(GridAccessRecord):
     def addresses(self) -> List[np.ndarray]:
         if self._local_addresses is None:
             self._local_addresses = [
-                self._global_planes[:, :, level].T - offset
+                self._global_planes[:, level, :].T - offset
                 for level, offset in enumerate(self._level_offsets)
             ]
         return self._local_addresses
@@ -192,7 +195,7 @@ class _PlanesAccessRecord(GridAccessRecord):
     def weights(self) -> List[np.ndarray]:
         if self._local_weights is None:
             self._local_weights = [
-                self._weight_planes[:, :, level].T
+                self._weight_planes[:, level, :].T
                 for level in range(len(self._table_sizes))
             ]
         return self._local_weights
@@ -207,7 +210,7 @@ class _PlanesAccessRecord(GridAccessRecord):
 
     @property
     def n_points(self) -> int:
-        return int(self._global_planes.shape[1])
+        return int(self._global_planes.shape[2])
 
     @property
     def n_levels(self) -> int:
@@ -216,7 +219,8 @@ class _PlanesAccessRecord(GridAccessRecord):
     def flat_addresses(self, level: Optional[int] = None) -> np.ndarray:
         if level is not None:
             return np.ascontiguousarray(
-                self._global_planes[:, :, level].T).reshape(-1)
+                self._global_planes[:, level, :].T).reshape(-1).astype(
+                    np.int64, copy=False)
         parts = [self.flat_addresses(level) for level in range(self.n_levels)]
         return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
 
@@ -251,29 +255,32 @@ class HashGridLevel:
         return spatial_hash(vertex_coords, self.table_size, validate=False)
 
     # -- forward / backward -------------------------------------------------
-    def forward(self, points: np.ndarray):
+    def forward(self, points: np.ndarray, dtype=np.float64):
         """Interpolate embeddings for ``points`` in ``[0, 1]^3``.
 
         Returns ``(embeddings, addresses, weights)`` where ``embeddings`` is
         ``(N, F)`` and the other two are ``(N, 8)`` caches reused by
-        :meth:`backward` and exported for access tracing.
+        :meth:`backward` and exported for access tracing.  ``dtype`` is the
+        compute precision of the weights and accumulation (float64 is the
+        bit-exact reference path).
         """
-        points = np.clip(np.asarray(points, dtype=np.float64), 0.0, 1.0)
-        scaled = points * self.resolution
+        points = np.clip(np.asarray(points, dtype=dtype), 0.0, 1.0)
+        scaled = points * np.asarray(self.resolution, dtype=dtype)
         base = np.floor(scaled).astype(np.int64)
         base = np.minimum(base, self.resolution - 1)
-        frac = scaled - base
+        frac = (scaled - base).astype(dtype)
         corners = base[:, None, :] + CORNER_OFFSETS[None, :, :]   # (N, 8, 3)
         addresses = self.vertex_addresses(corners)                # (N, 8)
-        weights = trilinear_weights(frac)                         # (N, 8)
+        weights = trilinear_weights(frac, dtype=dtype)            # (N, 8)
         corner_values = self.table.data[addresses]                # (N, 8, F)
-        embeddings = interpolate(corner_values, weights)
+        embeddings = interpolate(corner_values, weights, dtype=dtype)
         return embeddings.astype(np.float32), addresses, weights
 
     def backward(self, grad_embeddings: np.ndarray, addresses: np.ndarray,
-                 weights: np.ndarray) -> None:
+                 weights: np.ndarray, dtype=np.float64) -> None:
         """Scatter-add the embedding gradient into the table gradient."""
-        corner_grads = interpolate_backward(grad_embeddings, weights)  # (N, 8, F)
+        corner_grads = interpolate_backward(grad_embeddings, weights,
+                                            dtype=dtype)          # (N, 8, F)
         flat_addr = addresses.reshape(-1)
         flat_grads = corner_grads.reshape(-1, self.n_features)
         grad_table = np.zeros_like(self.table.grad, dtype=np.float64)
@@ -328,17 +335,34 @@ class MultiResHashGrid:
         weights, the same footprint the per-level engine's record has)
         necessarily still scale with the batch size.  The concatenated
         outputs and access record are identical to the unchunked query.
+    policy:
+        Compute-precision policy (``None`` resolves to the float64
+        reference, which is bit-identical to the pre-policy engine; float32
+        halves the weight-plane and accumulation traffic).  Embedding
+        storage and outputs are float32 under both, and the bincount
+        backward scatter always accumulates in float64 (the only dtype
+        ``np.bincount`` reduces in) before the float32 table update.
+    arena:
+        Optional :class:`~repro.utils.workspace.WorkspaceArena` supplying
+        reusable buffers for the query planes and every engine temporary;
+        ``None`` allocates fresh arrays per call (the original semantics).
+        With an arena attached, the returned embeddings and the access
+        record of a query are only valid until the next ``forward`` call.
     """
 
     def __init__(self, config: HashGridConfig, rng: np.random.Generator,
                  name: str = "grid", fused: bool = True,
-                 max_chunk_points: Optional[int] = None):
+                 max_chunk_points: Optional[int] = None,
+                 policy: Optional[PrecisionPolicy] = None,
+                 arena: Optional[WorkspaceArena] = None):
         if max_chunk_points is not None and max_chunk_points < 1:
             raise ValueError("max_chunk_points must be >= 1 or None")
         self.config = config
         self.name = name
         self.fused = bool(fused)
         self.max_chunk_points = max_chunk_points
+        self.policy = resolve_policy(policy)
+        self.arena = arena
         self.levels: List[HashGridLevel] = []
         for level_idx in range(config.n_levels):
             self.levels.append(
@@ -351,9 +375,11 @@ class MultiResHashGrid:
                 )
             )
         # Per-level constants of the fused engine, precomputed as arrays so a
-        # query touches no Python-level per-level loop.
+        # query touches no Python-level per-level loop.  Resolutions live in
+        # the compute dtype so the scale multiply stays in-policy; the planes
+        # are level-major, so per-level constants are kept as (L, 1) columns.
         self._resolutions = np.array([l.resolution for l in self.levels],
-                                     dtype=np.float64)
+                                     dtype=self.policy.dtype)
         self._max_base = np.array([l.resolution - 1 for l in self.levels],
                                   dtype=np.int64)
         sizes = np.array([l.table_size for l in self.levels], dtype=np.int64)
@@ -378,19 +404,61 @@ class MultiResHashGrid:
         # optimiser mutates the per-level tables in place between queries).
         self._table_cat = np.empty((int(self._level_bounds[-1]),
                                     config.n_features_per_level), dtype=np.float32)
+        # Voxel-lattice integer dtype: base coordinates and dense-level index
+        # arithmetic run in int32 whenever every value fits (they are bounded
+        # by the per-level table size) — the float->int32 cast vectorises
+        # where float->int64 does not, and the traffic halves.  Integer
+        # arithmetic is exact, so this is value-identical to the int64
+        # original under both precision policies.
+        self._base_dtype = (
+            np.int32 if (int(self._level_bounds[-1]) < 2 ** 31
+                         and config.finest_resolution < 2 ** 24)
+            else np.int64)
+        bdt = self._base_dtype
+        self._max_base_col = self._max_base.astype(bdt)[:, None]
+        self._res_col = self._resolutions[:, None]
+        n_dense = self._dense_idx.size
+        self._dense_strides_col = self._dense_strides.astype(bdt)[:, None]
+        self._dense_offsets_col = (
+            self._offsets_arr[:n_dense].astype(bdt)[:, None])
+        self._hash_offsets_col = self._offsets_arr[n_dense:][:, None]
+        # The spatial hash is arithmetic mod 2**32, so when the lattice fits
+        # int32 it runs natively in uint32 — the wrapping multiply IS the
+        # ``& _MASK32`` of the uint64 original (bit-exact), at half the
+        # traffic and without the explicit masking passes.
+        self._hash_dtype = (np.uint32 if self._base_dtype == np.int32
+                            else np.uint64)
+        self._pi_consts = tuple(self._hash_dtype(int(pi))
+                                for pi in (PI1, PI2, PI3))
+        self._hash_sizes_col = self._hash_sizes_u64.astype(
+            self._hash_dtype)[:, None]
         self._last_access: Optional[GridAccessRecord] = None
         self._last_points: Optional[np.ndarray] = None
         self._last_addr_planes: Optional[np.ndarray] = None
         self._last_weight_planes: Optional[np.ndarray] = None
+        # The level stack is fixed after construction, so the parameter list
+        # is built once instead of concatenated per zero_grad/step.
+        self._params: List[Parameter] = [level.table for level in self.levels]
+
+    def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
+        """Attach (or detach) a workspace arena for query-plane reuse."""
+        self.arena = arena
+
+    def _buf(self, key: str, shape, dtype) -> np.ndarray:
+        """Engine scratch buffer, namespaced by this grid's name."""
+        return arena_buffer(self.arena, f"{self.name}/{key}", shape, dtype)
 
     # -- fused engine internals ---------------------------------------------
     #
-    # The fused engine works in a corner-major "plane" layout: addresses and
-    # weights live in contiguous ``(8, N, L)`` arrays, one plane per cube
-    # corner.  Every arithmetic pass then streams over a flat ``(N, L)``
-    # block — no ``(N, L, 8, 3)`` corner tensor is ever materialised — and
-    # the per-corner hash/weight products are shared across the four corners
-    # that reuse them (``h(x+dx) ^ h(y+dy)`` appears in two corners each).
+    # The fused engine works in a corner-major, level-major "plane" layout:
+    # addresses and weights live in contiguous ``(8, L, N)`` arrays, one
+    # plane per cube corner with one contiguous row per level.  Every
+    # arithmetic pass then streams over a flat ``(L, N)`` block — no
+    # ``(N, L, 8, 3)`` corner tensor is ever materialised, and the dense- and
+    # hashed-level groups write whole rows instead of read-modify-writing
+    # interleaved columns — and the per-corner hash/weight products are
+    # shared across the four corners that reuse them (``h(x+dx) ^ h(y+dy)``
+    # appears in two corners each).
 
     #: Corner build order: (xy-pair index, z index) per corner, consistent
     #: with :data:`~repro.grid.interpolation.CORNER_OFFSETS` (dx = bit 0,
@@ -413,80 +481,134 @@ class MultiResHashGrid:
         """One stacked-kernel query: all levels of one point chunk at once.
 
         Writes into caller-provided views: ``out`` is ``(N, L*F)`` float32
-        embeddings and the planes are ``(8, N, L)`` arrays holding, per cube
-        corner, the *global* (level-offset) table address (int64) and
-        trilinear weight (float64) of every (point, level) pair.  ``table``
-        is the concatenated feature table from :meth:`_concat_table`.
+        embeddings and the planes are level-major ``(8, L, N)`` arrays
+        holding, per cube corner, the *global* (level-offset) table address
+        (int64) and trilinear weight (compute-dtype) of every
+        (level, point) pair.  ``table`` is the concatenated feature table
+        from :meth:`_concat_table`.  Every temporary comes from the
+        workspace arena when one is attached, so steady-state queries
+        allocate nothing.
         """
         n = points.shape[0]
         n_levels = len(self.levels)
         n_dense = self._dense_idx.size
-        clipped = np.clip(points, 0.0, 1.0)
-        # Per-axis voxel base coordinates and fractional positions, (N, L).
+        dt = self.policy.dtype
+        bdt = self._base_dtype
+        clipped = self._buf("q/clipped", (n, 3), dt)
+        np.clip(points, 0.0, 1.0, out=clipped)
+        # Per-axis voxel base coordinates and fractional positions, (L, N);
+        # the frac overwrites its scaled buffer once the base is extracted.
         base = []
         frac = []
         for axis in range(3):
-            scaled = clipped[:, axis:axis + 1] * self._resolutions[None, :]
+            scaled = self._buf(f"q/scaled{axis}", (n_levels, n), dt)
+            np.multiply(self._res_col, clipped[None, :, axis], out=scaled)
             # Truncation equals floor here because ``scaled >= 0``.
-            b = scaled.astype(np.int64)
-            np.minimum(b, self._max_base[None, :], out=b)
+            b = self._buf(f"q/base{axis}", (n_levels, n), bdt)
+            np.copyto(b, scaled, casting="unsafe")
+            np.minimum(b, self._max_base_col, out=b)
             base.append(b)
-            frac.append(scaled - b)
+            if self.policy.is_reference:
+                np.subtract(scaled, b, out=scaled)
+            else:
+                # Force the float32 loop (int32 operand would promote to
+                # float64); base values are < 2**24, so the cast is exact.
+                np.subtract(scaled, b, out=scaled, dtype=np.float32,
+                            casting="unsafe")
+            frac.append(scaled)
         bx, by, bz = base
         fx, fy, fz = frac
 
         if n_dense:
             # Dense (collision-free) levels: linear index with x fastest;
             # the level's global table offset is folded into the z term.
-            strides = self._dense_strides[None, :]
-            x0 = bx[:, :n_dense]
-            y0 = by[:, :n_dense] * strides
-            z0 = (bz[:, :n_dense] * (strides * strides)
-                  + self._offsets_arr[None, :n_dense])
-            x1 = x0 + 1
-            y1 = y0 + strides
-            z1 = z0 + strides * strides
-            xy = (x0 + y0, x1 + y0, x0 + y1, x1 + y1)
+            # All values are bounded by the level's table size, so the
+            # arithmetic fits the lattice dtype by construction.
+            strides = self._dense_strides_col
+            x0 = bx[:n_dense]
+            y0 = self._buf("q/y0", (n_dense, n), bdt)
+            np.multiply(by[:n_dense], strides, out=y0)
+            z0 = self._buf("q/z0", (n_dense, n), bdt)
+            np.multiply(bz[:n_dense], strides * strides, out=z0)
+            z0 += self._dense_offsets_col
+            x1 = self._buf("q/x1", (n_dense, n), bdt)
+            np.add(x0, 1, out=x1)
+            y1 = self._buf("q/y1", (n_dense, n), bdt)
+            np.add(y0, strides, out=y1)
+            z1 = self._buf("q/z1", (n_dense, n), bdt)
+            np.add(z0, strides * strides, out=z1)
+            xy = tuple(self._buf(f"q/dxy{i}", (n_dense, n), bdt)
+                       for i in range(4))
+            np.add(x0, y0, out=xy[0])
+            np.add(x1, y0, out=xy[1])
+            np.add(x0, y1, out=xy[2])
+            np.add(x1, y1, out=xy[3])
             zs = (z0, z1)
             for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
-                np.add(xy[xy_idx], zs[z_idx], out=addr_planes[corner, :, :n_dense])
+                np.add(xy[xy_idx], zs[z_idx],
+                       out=addr_planes[corner, :n_dense])
         if n_dense < n_levels:
             # Hashed levels: per-axis products are shared across corners.
-            one = np.uint64(1)
-            hash_offsets = self._offsets_arr[None, n_dense:]
-            ux = bx[:, n_dense:].astype(np.uint64)
-            uy = by[:, n_dense:].astype(np.uint64)
-            uz = bz[:, n_dense:].astype(np.uint64)
-            hx0 = (ux * PI1) & _MASK32
-            hy0 = (uy * PI2) & _MASK32
-            hz0 = (uz * PI3) & _MASK32
-            hx1 = ((ux + one) * PI1) & _MASK32
-            hy1 = ((uy + one) * PI2) & _MASK32
-            hz1 = ((uz + one) * PI3) & _MASK32
-            xy = (hx0 ^ hy0, hx1 ^ hy0, hx0 ^ hy1, hx1 ^ hy1)
+            hdt = self._hash_dtype
+            narrow = hdt == np.uint32       # wrapping multiply == & _MASK32
+            one = hdt(1)
+            n_hash = n_levels - n_dense
+            hash_offsets = self._hash_offsets_col
+            hashes = []
+            for key, b, pi in zip("xyz", (bx, by, bz), self._pi_consts):
+                u = self._buf(f"q/u{key}", (n_hash, n), hdt)
+                np.copyto(u, b[n_dense:], casting="unsafe")
+                h0 = self._buf(f"q/h{key}0", (n_hash, n), hdt)
+                np.multiply(u, pi, out=h0)
+                if not narrow:
+                    np.bitwise_and(h0, _MASK32, out=h0)
+                np.add(u, one, out=u)                 # u holds coord + 1 now
+                h1 = u                                # hash of it, in place
+                np.multiply(u, pi, out=h1)
+                if not narrow:
+                    np.bitwise_and(h1, _MASK32, out=h1)
+                hashes.append((h0, h1))
+            (hx0, hx1), (hy0, hy1), (hz0, hz1) = hashes
+            xy = tuple(self._buf(f"q/hxy{i}", (n_hash, n), hdt)
+                       for i in range(4))
+            np.bitwise_xor(hx0, hy0, out=xy[0])
+            np.bitwise_xor(hx1, hy0, out=xy[1])
+            np.bitwise_xor(hx0, hy1, out=xy[2])
+            np.bitwise_xor(hx1, hy1, out=xy[3])
             zs = (hz0, hz1)
-            sizes = self._hash_sizes_u64
-            h = np.empty((n, n_levels - n_dense), dtype=np.uint64)
+            h = self._buf("q/h", (n_hash, n), hdt)
+            # uint64 + int64 would promote to float64; route through a
+            # signed view (wide) or rely on uint32 -> int64 promotion.
+            h_for_add = h if narrow else h.view(np.int64)
             if self._hash_all_pow2:
                 # ``& (T-1) == % T`` for power-of-two tables, and ``&``
                 # distributes over ``^``: mask the six shared products once
                 # instead of masking every corner's xor.
-                pow2_mask = (sizes - one)[None, :]
-                xy = tuple(v & pow2_mask for v in xy)
-                zs = tuple(v & pow2_mask for v in zs)
+                pow2_mask = self._hash_sizes_col - one
+                for v in xy + zs:
+                    np.bitwise_and(v, pow2_mask, out=v)
                 for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
                     np.bitwise_xor(xy[xy_idx], zs[z_idx], out=h)
-                    np.add(h.view(np.int64), hash_offsets,
-                           out=addr_planes[corner, :, n_dense:])
+                    np.add(h_for_add, hash_offsets,
+                           out=addr_planes[corner, n_dense:])
             else:
                 for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
                     np.bitwise_xor(xy[xy_idx], zs[z_idx], out=h)
-                    h %= sizes[None, :]
-                    np.add(h.view(np.int64), hash_offsets,
-                           out=addr_planes[corner, :, n_dense:])
+                    h %= self._hash_sizes_col
+                    np.add(h_for_add, hash_offsets,
+                           out=addr_planes[corner, n_dense:])
 
-        gx, gy, gz = 1.0 - fx, 1.0 - fy, 1.0 - fz
-        wxy = (gx * gy, fx * gy, gx * fy, fx * fy)
+        gx = self._buf("q/gx", (n_levels, n), dt)
+        gy = self._buf("q/gy", (n_levels, n), dt)
+        gz = self._buf("q/gz", (n_levels, n), dt)
+        np.subtract(1.0, fx, out=gx)
+        np.subtract(1.0, fy, out=gy)
+        np.subtract(1.0, fz, out=gz)
+        wxy = tuple(self._buf(f"q/wxy{i}", (n_levels, n), dt) for i in range(4))
+        np.multiply(gx, gy, out=wxy[0])
+        np.multiply(fx, gy, out=wxy[1])
+        np.multiply(gx, fy, out=wxy[2])
+        np.multiply(fx, fy, out=wxy[3])
         wzs = (gz, fz)
         for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
             np.multiply(wxy[xy_idx], wzs[z_idx], out=weight_planes[corner])
@@ -494,31 +616,42 @@ class MultiResHashGrid:
         if self.config.n_features_per_level == 2:
             # F == 2 fast path: each table row is one complex64, so a corner
             # gather is a single flat take and the weighted accumulation runs
-            # on complex128 planes whose (real, imag) parts are the two
-            # features.  Multiplying by a real weight scales both features
-            # with the same float64 products as the generic path.
+            # on complex planes whose (real, imag) parts are the two
+            # features — complex128 under the float64 reference policy,
+            # complex64 under float32.  Multiplying by a real weight scales
+            # both features with the same compute-dtype products as the
+            # generic path.
             flat = table.view(np.complex64).ravel()
-            acc = np.empty((n, n_levels), dtype=np.complex128)
-            tmp = np.empty((n, n_levels), dtype=np.complex128)
-            gathered = np.empty((n, n_levels), dtype=np.complex64)
+            cdt = self.policy.complex_dtype
+            acc = self._buf("q/acc", (n_levels, n), cdt)
+            tmp = self._buf("q/tmp", (n_levels, n), cdt)
+            gathered = self._buf("q/gathered", (n_levels, n), np.complex64)
             for corner in range(8):
-                # mode="clip" skips per-element bounds checks; addresses are
-                # in range by construction (hash mod / dense index + offset).
+                # mode="clip" skips per-element bounds checks; addresses
+                # are in range by construction (hash mod / dense index +
+                # offset).
                 np.take(flat, addr_planes[corner], out=gathered, mode="clip")
                 if corner == 0:
                     np.multiply(weight_planes[corner], gathered, out=acc)
                 else:
                     np.multiply(weight_planes[corner], gathered, out=tmp)
                     acc += tmp
-            out[...] = acc.view(np.float64).reshape(n, -1)
+            # (L, N) complex planes -> (N, L*F) float32 embeddings.
+            out.reshape(n, n_levels, 2)[...] = (
+                acc.view(dt).reshape(n_levels, n, 2).transpose(1, 0, 2))
         else:
-            acc = np.zeros((n, n_levels, self.config.n_features_per_level),
-                           dtype=np.float64)
+            f = self.config.n_features_per_level
+            acc = self._buf("q/accf", (n_levels, n, f), dt)
+            acc.fill(0.0)
+            corner_values = self._buf("q/cv", (n_levels, n, f), np.float32)
+            tmp = self._buf("q/cvw", (n_levels, n, f), dt)
             for corner in range(8):
-                corner_values = np.take(table, addr_planes[corner], axis=0,
-                                        mode="clip")
-                acc += weight_planes[corner][:, :, None] * corner_values
-            out[...] = acc.reshape(n, -1)
+                np.take(table, addr_planes[corner], axis=0, out=corner_values,
+                        mode="clip")
+                np.multiply(weight_planes[corner][:, :, None], corner_values,
+                            out=tmp)
+                acc += tmp
+            out.reshape(n, n_levels, f)[...] = acc.transpose(1, 0, 2)
 
     def _record_from_planes(self, addr_planes: np.ndarray,
                             weight_planes: np.ndarray) -> GridAccessRecord:
@@ -532,23 +665,24 @@ class MultiResHashGrid:
     # -- forward / backward -------------------------------------------------
     def forward(self, points: np.ndarray) -> np.ndarray:
         """Encode ``(N, 3)`` points in ``[0, 1]^3`` into ``(N, L*F)`` features."""
-        points = np.asarray(points, dtype=np.float64)
+        points = np.asarray(points, dtype=self.policy.dtype)
         if points.ndim != 2 or points.shape[1] != 3:
             raise ValueError(f"points must have shape (N, 3), got {points.shape}")
         if not self.fused:
             return self._forward_loop(points)
         n = points.shape[0]
         n_levels = len(self.levels)
-        out = np.empty((n, self.config.n_output_features), dtype=np.float32)
-        addr_planes = np.empty((8, n, n_levels), dtype=np.int64)
-        weight_planes = np.empty((8, n, n_levels), dtype=np.float64)
+        out = self._buf("out", (n, self.config.n_output_features), np.float32)
+        addr_planes = self._buf("addr_planes", (8, n_levels, n), np.int64)
+        weight_planes = self._buf("weight_planes", (8, n_levels, n),
+                                  self.policy.dtype)
         table = self._concat_table()
         chunk = self.max_chunk_points if self.max_chunk_points is not None else max(n, 1)
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
             self._fused_query_into(points[start:stop], table,
-                                   addr_planes[:, start:stop],
-                                   weight_planes[:, start:stop],
+                                   addr_planes[:, :, start:stop],
+                                   weight_planes[:, :, start:stop],
                                    out[start:stop])
         self._last_addr_planes = addr_planes
         self._last_weight_planes = weight_planes
@@ -562,7 +696,8 @@ class MultiResHashGrid:
         outputs = []
         offset = 0
         for level in self.levels:
-            emb, addresses, weights = level.forward(points)
+            emb, addresses, weights = level.forward(points,
+                                                    dtype=self.policy.dtype)
             outputs.append(emb)
             record.addresses.append(addresses)
             record.weights.append(weights)
@@ -583,7 +718,7 @@ class MultiResHashGrid:
         """
         if self._last_access is None:
             raise RuntimeError("backward called before forward")
-        grad_embeddings = np.asarray(grad_embeddings, dtype=np.float64)
+        grad_embeddings = np.asarray(grad_embeddings, dtype=self.policy.dtype)
         expected = (self._last_access.n_points, self.config.n_output_features)
         if grad_embeddings.shape != expected:
             raise ValueError(
@@ -599,6 +734,7 @@ class MultiResHashGrid:
                 grad_slice,
                 self._last_access.addresses[idx],
                 self._last_access.weights[idx],
+                dtype=self.policy.dtype,
             )
 
     def _backward_fused(self, grad_embeddings: np.ndarray) -> None:
@@ -614,23 +750,32 @@ class MultiResHashGrid:
         weight_planes = self._last_weight_planes
         if addr_planes is None or weight_planes is None:
             # Forward ran on the per-level engine; rebuild the (global-
-            # address) corner planes from its record.
+            # address, level-major) corner planes from its record.
             local = np.stack(self._last_access.addresses, axis=1)   # (N, L, 8)
-            addr_planes = np.ascontiguousarray(
-                np.moveaxis(local + np.asarray(self._last_access.level_offsets
-                                               )[None, :, None], 2, 0))
-            weight_planes = np.ascontiguousarray(
-                np.moveaxis(np.stack(self._last_access.weights, axis=1), 2, 0))
+            addr_planes = np.ascontiguousarray(np.transpose(
+                local + np.asarray(self._last_access.level_offsets
+                                   )[None, :, None], (2, 1, 0)))
+            weight_planes = np.ascontiguousarray(np.transpose(
+                np.stack(self._last_access.weights, axis=1), (2, 1, 0)))
         n = grad_embeddings.shape[0]
         n_levels = len(self.levels)
         f = self.config.n_features_per_level
         total = int(self._level_bounds[-1])
         grad3 = grad_embeddings.reshape(n, n_levels, f)
-        # The working set per corner is one (N, L) plane, so no chunking is
-        # needed here even for very large batches.
-        feature_grads = [np.ascontiguousarray(grad3[:, :, j]) for j in range(f)]
-        acc = np.zeros((f, total), dtype=np.float64)
-        contrib = np.empty((n, n_levels), dtype=np.float64)
+        # The working set per corner is one (L, N) plane, so no chunking is
+        # needed here even for very large batches.  The bincount reduction
+        # always accumulates in float64 — the only weight dtype bincount
+        # sums — which keeps the scatter dtype-stable under both policies
+        # (float32 contributions are upcast in the multiply, not inside
+        # bincount).
+        feature_grads = []
+        for j in range(f):
+            fg = self._buf(f"bwd/fg{j}", (n_levels, n), grad_embeddings.dtype)
+            fg[...] = grad3[:, :, j].T
+            feature_grads.append(fg)
+        acc = self._buf("bwd/acc", (f, total), np.float64)
+        acc.fill(0.0)
+        contrib = self._buf("bwd/contrib", (n_levels, n), np.float64)
         for corner in range(8):
             flat_addr = addr_planes[corner].ravel()
             corner_weight = weight_planes[corner]
@@ -641,12 +786,17 @@ class MultiResHashGrid:
         acc = acc.T
         touched = np.flatnonzero(np.any(acc != 0.0, axis=1))
         bounds = np.searchsorted(touched, self._level_bounds)
+        # Sized at the table bound (not the batch-dependent touched count)
+        # so the steady-state arena never regrows it.
+        acc_touched = self._buf("bwd/acc_touched", (total, f),
+                                np.float64)[:touched.size]
+        np.take(acc, touched, axis=0, out=acc_touched)
         for idx, level in enumerate(self.levels):
             lo, hi = bounds[idx], bounds[idx + 1]
             if lo == hi:
                 continue
             rows = touched[lo:hi] - self._offsets_arr[idx]
-            level.table.grad[rows] += acc[touched[lo:hi]].astype(np.float32)
+            level.table.grad[rows] += acc_touched[lo:hi].astype(np.float32)
 
     # -- tracing / bookkeeping ------------------------------------------------
     @property
@@ -668,13 +818,11 @@ class MultiResHashGrid:
         return sum(level.storage_bytes for level in self.levels)
 
     def parameters(self) -> List[Parameter]:
-        params: List[Parameter] = []
-        for level in self.levels:
-            params.extend(level.parameters())
-        return params
+        """The per-level feature tables (cached list — do not mutate)."""
+        return self._params
 
     def zero_grad(self) -> None:
-        for param in self.parameters():
+        for param in self._params:
             param.zero_grad()
 
     # -- serialisation ------------------------------------------------------

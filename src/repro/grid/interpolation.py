@@ -29,7 +29,7 @@ CORNER_OFFSETS = np.array(
 )
 
 
-def trilinear_weights(frac: np.ndarray) -> np.ndarray:
+def trilinear_weights(frac: np.ndarray, dtype=np.float64) -> np.ndarray:
     """Interpolation weights for the eight corners.
 
     Parameters
@@ -37,43 +37,49 @@ def trilinear_weights(frac: np.ndarray) -> np.ndarray:
     frac:
         ``(N, 3)`` array with the fractional position of each query point
         inside its voxel, each component in ``[0, 1]``.
+    dtype:
+        Compute dtype of the weights (the grid's precision policy; float64
+        is the bit-exact reference).
 
     Returns
     -------
     ``(N, 8)`` array of non-negative weights that sum to one per row, ordered
     consistently with :data:`CORNER_OFFSETS`.
     """
-    frac = np.asarray(frac, dtype=np.float64)
+    frac = np.asarray(frac, dtype=dtype)
     if frac.ndim != 2 or frac.shape[1] != 3:
         raise ValueError(f"frac must have shape (N, 3), got {frac.shape}")
     fx, fy, fz = frac[:, 0], frac[:, 1], frac[:, 2]
     wx = np.stack([1.0 - fx, fx], axis=1)          # (N, 2)
     wy = np.stack([1.0 - fy, fy], axis=1)
     wz = np.stack([1.0 - fz, fz], axis=1)
-    weights = np.empty((frac.shape[0], 8), dtype=np.float64)
+    weights = np.empty((frac.shape[0], 8), dtype=dtype)
     for corner, (dx, dy, dz) in enumerate(CORNER_OFFSETS):
         weights[:, corner] = wx[:, dx] * wy[:, dy] * wz[:, dz]
     return weights
 
 
-def interpolate(corner_values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+def interpolate(corner_values: np.ndarray, weights: np.ndarray,
+                dtype=np.float64) -> np.ndarray:
     """Blend per-corner embeddings with trilinear weights.
 
     ``corner_values`` has shape ``(N, 8, F)`` and ``weights`` has shape
-    ``(N, 8)``; the result has shape ``(N, F)``.
+    ``(N, 8)``; the result has shape ``(N, F)``.  ``dtype`` selects the
+    accumulation precision (float64 is the bit-exact reference).
     """
-    corner_values = np.asarray(corner_values, dtype=np.float64)
-    weights = np.asarray(weights, dtype=np.float64)
+    corner_values = np.asarray(corner_values, dtype=dtype)
+    weights = np.asarray(weights, dtype=dtype)
     return np.einsum("ncf,nc->nf", corner_values, weights)
 
 
-def interpolate_backward(grad_out: np.ndarray, weights: np.ndarray) -> np.ndarray:
+def interpolate_backward(grad_out: np.ndarray, weights: np.ndarray,
+                         dtype=np.float64) -> np.ndarray:
     """Gradient of :func:`interpolate` with respect to the corner embeddings.
 
     Returns an ``(N, 8, F)`` array: the output gradient broadcast to each
     corner scaled by its interpolation weight.  (Positions are not trained,
     so no gradient with respect to the weights is needed.)
     """
-    grad_out = np.asarray(grad_out, dtype=np.float64)
-    weights = np.asarray(weights, dtype=np.float64)
+    grad_out = np.asarray(grad_out, dtype=dtype)
+    weights = np.asarray(weights, dtype=dtype)
     return np.einsum("nf,nc->ncf", grad_out, weights)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.workspace import arena_buffer
+
 
 def positional_encoding(x: np.ndarray, n_frequencies: int,
                         include_input: bool = True) -> np.ndarray:
@@ -40,23 +42,30 @@ def positional_encoding_dim(input_dim: int, n_frequencies: int,
     return input_dim * ((1 if include_input else 0) + 2 * n_frequencies)
 
 
-def spherical_harmonics_encoding(dirs: np.ndarray, degree: int = 3) -> np.ndarray:
+def spherical_harmonics_encoding(dirs: np.ndarray, degree: int = 3,
+                                 dtype=np.float64,
+                                 arena=None) -> np.ndarray:
     """Real spherical-harmonics basis evaluated at unit directions.
 
     Supports degrees 1-4 (1, 4, 9 or 16 output features), the same options
     as tiny-cuda-nn's ``SphericalHarmonics`` encoding used by Instant-NGP for
-    view directions.
+    view directions.  ``dtype`` selects the evaluation precision (float64,
+    the default, is the bit-exact reference); the returned basis is float32
+    under both, matching the MLP input dtype.  ``arena`` supplies the
+    normalised-direction and output buffers when given.
     """
     if degree not in (1, 2, 3, 4):
         raise ValueError("degree must be in {1, 2, 3, 4}")
-    dirs = np.asarray(dirs, dtype=np.float64)
+    dirs = np.asarray(dirs, dtype=dtype)
     if dirs.ndim != 2 or dirs.shape[1] != 3:
         raise ValueError(f"dirs must have shape (N, 3), got {dirs.shape}")
     norm = np.linalg.norm(dirs, axis=1, keepdims=True)
-    d = dirs / np.maximum(norm, 1e-12)
+    np.maximum(norm, 1e-12, out=norm)
+    d = arena_buffer(arena, "sh/d", dirs.shape, dtype)
+    np.divide(dirs, norm, out=d)
     x, y, z = d[:, 0], d[:, 1], d[:, 2]
     n = dirs.shape[0]
-    out = np.empty((n, degree * degree), dtype=np.float64)
+    out = arena_buffer(arena, "sh/out", (n, degree * degree), dtype)
     out[:, 0] = 0.28209479177387814                    # l=0
     if degree > 1:
         out[:, 1] = -0.48860251190291987 * y           # l=1
@@ -79,7 +88,11 @@ def spherical_harmonics_encoding(dirs: np.ndarray, degree: int = 3) -> np.ndarra
         out[:, 13] = -0.4570457994644658 * x * (5.0 * z2 - 1.0)
         out[:, 14] = 1.445305721320277 * z * (x2 - y2)
         out[:, 15] = -0.5900435899266435 * x * (x2 - 3.0 * y2)
-    return out.astype(np.float32)
+    if out.dtype == np.float32:
+        return out
+    out32 = arena_buffer(arena, "sh/out32", out.shape, np.float32)
+    np.copyto(out32, out, casting="same_kind")
+    return out32
 
 
 def spherical_harmonics_dim(degree: int) -> int:

@@ -7,15 +7,18 @@ from typing import Tuple
 import numpy as np
 
 
-def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+def mse_loss(pred: np.ndarray, target: np.ndarray,
+             dtype=np.float64) -> Tuple[float, np.ndarray]:
     """Mean-squared-error loss and its gradient with respect to ``pred``.
 
     The paper's Eq. 2 sums squared errors over the ray batch; we use the mean
     so the learning rate is independent of batch size (the gradient direction
-    is identical up to a constant factor).
+    is identical up to a constant factor).  ``dtype`` is the compute
+    precision of the residual and gradient (the float64 default is the
+    bit-exact reference; the loss scalar is a Python float either way).
     """
-    pred = np.asarray(pred, dtype=np.float64)
-    target = np.asarray(target, dtype=np.float64)
+    pred = np.asarray(pred, dtype=dtype)
+    target = np.asarray(target, dtype=dtype)
     if pred.shape != target.shape:
         raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
     diff = pred - target

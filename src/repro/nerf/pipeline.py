@@ -44,6 +44,8 @@ from repro.nerf.cameras import RayBundle
 from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
 from repro.nerf.volume_rendering import RenderOutput, VolumeRenderer
+from repro.utils.precision import PrecisionPolicy, resolve_policy
+from repro.utils.workspace import WorkspaceArena, arena_buffer, arena_zeros
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports nerf)
     from repro.core.model import DecoupledRadianceField
@@ -98,6 +100,14 @@ class RenderPipeline:
         ``allow_termination=True`` (evaluation rendering): rays are marched
         ``termination_segment`` samples at a time and drop out once their
         transmittance is below ``tau``.
+    policy:
+        Compute-precision policy threaded through sampling, compositing and
+        the gradient gather (``None`` resolves to the bit-exact float64
+        reference).
+    arena:
+        Optional workspace arena supplying the dense sigma/rgb planes,
+        compacted query blocks and renderer buffers — with it attached,
+        steady-state passes perform no large allocations.
     """
 
     def __init__(self, model: "DecoupledRadianceField", scene_bound: float,
@@ -105,7 +115,9 @@ class RenderPipeline:
                  occupancy: Optional[OccupancyGrid] = None,
                  culling_enabled: bool = True,
                  early_termination_tau: Optional[float] = None,
-                 termination_segment: int = 8):
+                 termination_segment: int = 8,
+                 policy: Optional[PrecisionPolicy] = None,
+                 arena: Optional[WorkspaceArena] = None):
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         if early_termination_tau is not None and not (0.0 < early_termination_tau < 1.0):
@@ -115,12 +127,16 @@ class RenderPipeline:
         self.model = model
         self.scene_bound = float(scene_bound)
         self.n_samples = int(n_samples)
-        self.renderer = VolumeRenderer(white_background=white_background)
+        self.policy = resolve_policy(policy)
+        self.arena = arena
+        self.renderer = VolumeRenderer(white_background=white_background,
+                                       policy=self.policy, arena=arena)
         self.occupancy = occupancy
         self.culling_enabled = bool(culling_enabled)
         self.early_termination_tau = early_termination_tau
         self.termination_segment = int(termination_segment)
         self._keep_flat: Optional[np.ndarray] = None   # flat bool mask of last pass
+        self._keep_idx: Optional[np.ndarray] = None    # kept flat indices
         self._backward_ok = False
 
     # -- state ------------------------------------------------------------------
@@ -156,15 +172,21 @@ class RenderPipeline:
         """
         n_rays = bundle.n_rays
         n_samples = self.n_samples
-        t_vals, deltas = stratified_samples(bundle, n_samples, rng=rng)
-        points, dirs = ray_points(bundle, t_vals)
-        points_unit = normalize_points_to_unit_cube(points, self.scene_bound)
+        dtype = self.policy.dtype
+        t_vals, deltas = stratified_samples(bundle, n_samples, rng=rng,
+                                            dtype=dtype, arena=self.arena)
+        points, dirs = ray_points(bundle, t_vals, dtype=dtype,
+                                  arena=self.arena)
+        points_unit = normalize_points_to_unit_cube(points, self.scene_bound,
+                                                    dtype=dtype,
+                                                    arena=self.arena)
 
         terminating = allow_termination and self.early_termination_tau is not None
         if terminating:
             render, n_queried = self._march_terminated(
                 points_unit, dirs, t_vals, deltas, n_rays)
             self._keep_flat = None
+            self._keep_idx = None
             self._backward_ok = False
         elif self.culling_active:
             render, n_queried = self._forward_culled(
@@ -174,6 +196,7 @@ class RenderPipeline:
             render = self._forward_dense(points_unit, dirs, t_vals, deltas, n_rays)
             n_queried = n_rays * n_samples
             self._keep_flat = None
+            self._keep_idx = None
             self._backward_ok = True
         return PipelineRender(
             render=render,
@@ -202,17 +225,29 @@ class RenderPipeline:
             # Nothing to cull (e.g. before the grid's first update): take the
             # dense path so no compaction copies are paid.
             self._keep_flat = None
+            self._keep_idx = None
             return (self._forward_dense(points_unit, dirs, t_vals, deltas, n_rays),
                     keep.size)
         self._keep_flat = keep
         n_samples = self.n_samples
-        sigma_plane = np.zeros(n_rays * n_samples)
-        rgb_plane = np.zeros((n_rays * n_samples, 3))
-        n_queried = int(np.count_nonzero(keep))
+        dtype = self.policy.dtype
+        sigma_plane = arena_zeros(self.arena, "pipe/sigma_plane",
+                                  n_rays * n_samples, dtype)
+        rgb_plane = arena_zeros(self.arena, "pipe/rgb_plane",
+                                (n_rays * n_samples, 3), dtype)
+        idx = np.flatnonzero(keep)
+        self._keep_idx = idx
+        n_queried = int(idx.size)
         if n_queried:
-            sigma, rgb = self.model.query(points_unit[keep], dirs[keep])
-            sigma_plane[keep] = sigma
-            rgb_plane[keep] = rgb
+            kept_points = arena_buffer(self.arena, "pipe/kept_points",
+                                       (n_queried, 3), points_unit.dtype)
+            np.take(points_unit, idx, axis=0, out=kept_points)
+            kept_dirs = arena_buffer(self.arena, "pipe/kept_dirs",
+                                     (n_queried, 3), dirs.dtype)
+            np.take(dirs, idx, axis=0, out=kept_dirs)
+            sigma, rgb = self.model.query(kept_points, kept_dirs)
+            sigma_plane[idx] = sigma
+            rgb_plane[idx] = rgb
         return (
             self.renderer.forward(
                 sigma_plane.reshape(n_rays, n_samples),
@@ -234,10 +269,13 @@ class RenderPipeline:
         """
         tau = float(self.early_termination_tau)
         n_samples = self.n_samples
+        dtype = self.policy.dtype
         points_r = points_unit.reshape(n_rays, n_samples, 3)
         dirs_r = dirs.reshape(n_rays, n_samples, 3)
-        sigma_plane = np.zeros((n_rays, n_samples))
-        rgb_plane = np.zeros((n_rays, n_samples, 3))
+        sigma_plane = arena_zeros(self.arena, "pipe/term_sigma",
+                                  (n_rays, n_samples), dtype)
+        rgb_plane = arena_zeros(self.arena, "pipe/term_rgb",
+                                (n_rays, n_samples, 3), dtype)
         if self.culling_active:
             keep = self.occupancy.filter_samples(points_unit).reshape(n_rays, n_samples)
         else:
@@ -279,7 +317,13 @@ class RenderPipeline:
                 "backward_to_points requires a preceding render_rays without "
                 "early termination")
         grad_sigmas, grad_rgbs = self.renderer.backward(grad_colors)
-        if self._keep_flat is None:
+        if self._keep_idx is None:
             return grad_sigmas.reshape(-1), grad_rgbs.reshape(-1, 3)
-        keep = self._keep_flat
-        return grad_sigmas.reshape(-1)[keep], grad_rgbs.reshape(-1, 3)[keep]
+        idx = self._keep_idx
+        kept_sigmas = arena_buffer(self.arena, "pipe/kept_grad_sigmas",
+                                   idx.size, grad_sigmas.dtype)
+        np.take(grad_sigmas.reshape(-1), idx, out=kept_sigmas)
+        kept_rgbs = arena_buffer(self.arena, "pipe/kept_grad_rgbs",
+                                 (idx.size, 3), grad_rgbs.dtype)
+        np.take(grad_rgbs.reshape(-1, 3), idx, axis=0, out=kept_rgbs)
+        return kept_sigmas, kept_rgbs

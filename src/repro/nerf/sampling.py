@@ -1,4 +1,13 @@
-"""Point sampling along rays (the per-ray part of Step ❸)."""
+"""Point sampling along rays (the per-ray part of Step ❸).
+
+All three helpers take the training stack's compute ``dtype`` (the precision
+policy) and an optional :class:`~repro.utils.workspace.WorkspaceArena`; the
+float64 defaults are bit-identical to the pre-policy implementation.  Jitter
+is always *drawn* as float64 — ``Generator.random(out=...)`` produces the
+exact draws ``Generator.uniform(0, 1, size)`` did — and cast to the compute
+dtype afterwards, so a float32 run consumes the same RNG stream as its
+float64 twin and differs only by arithmetic precision.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +16,14 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nerf.cameras import RayBundle
+from repro.utils.workspace import WorkspaceArena, arena_buffer
 
 
 def stratified_samples(ray_bundle: RayBundle, n_samples: int,
-                       rng: Optional[np.random.Generator] = None) -> Tuple[np.ndarray, np.ndarray]:
+                       rng: Optional[np.random.Generator] = None,
+                       dtype=np.float64,
+                       arena: Optional[WorkspaceArena] = None
+                       ) -> Tuple[np.ndarray, np.ndarray]:
     """Draw ``n_samples`` distances per ray between ``near`` and ``far``.
 
     The ``[near, far]`` interval is split into ``n_samples`` equal bins; with
@@ -31,40 +44,76 @@ def stratified_samples(ray_bundle: RayBundle, n_samples: int,
         raise ValueError("n_samples must be >= 1")
     n_rays = ray_bundle.n_rays
     near, far = ray_bundle.near, ray_bundle.far
-    edges = np.linspace(near, far, n_samples + 1)
+    edges = np.linspace(near, far, n_samples + 1, dtype=dtype)
     lower = np.broadcast_to(edges[:-1], (n_rays, n_samples))
     width = (far - near) / n_samples
+    shape = (n_rays, n_samples)
     if rng is not None:
-        jitter = rng.uniform(0.0, 1.0, size=(n_rays, n_samples))
+        # Drawn as float64 under both policies (the reference draws), then
+        # cast — identical streams across precision policies.
+        # ``Generator.random(out=...)`` consumes the exact same stream as
+        # ``Generator.uniform(0, 1, size)``; the fallback keeps duck-typed
+        # stand-in generators (tests) working.
+        draws = arena_buffer(arena, "samples/jitter64", shape, np.float64)
+        try:
+            rng.random(out=draws)
+        except (AttributeError, TypeError):
+            draws[...] = rng.uniform(0.0, 1.0, shape)
+        if np.dtype(dtype) == np.float64:
+            jitter = draws
+        else:
+            jitter = arena_buffer(arena, "samples/jitter", shape, dtype)
+            np.copyto(jitter, draws, casting="same_kind")
     else:
-        jitter = np.full((n_rays, n_samples), 0.5)
-    t_vals = lower + jitter * width
-    deltas = np.diff(t_vals, axis=1)
-    last_delta = far - t_vals[:, -1:]
-    deltas = np.maximum(np.concatenate([deltas, last_delta], axis=1), 1e-6)
+        jitter = arena_buffer(arena, "samples/jitter_mid", shape, dtype)
+        jitter.fill(0.5)
+    t_vals = arena_buffer(arena, "samples/t_vals", shape, dtype)
+    np.multiply(jitter, width, out=t_vals)
+    t_vals += lower
+    deltas = arena_buffer(arena, "samples/deltas", shape, dtype)
+    if n_samples > 1:
+        np.subtract(t_vals[:, 1:], t_vals[:, :-1], out=deltas[:, :-1])
+    np.subtract(far, t_vals[:, -1], out=deltas[:, -1])
+    np.maximum(deltas, 1e-6, out=deltas)
     return t_vals, deltas
 
 
-def ray_points(ray_bundle: RayBundle, t_vals: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def ray_points(ray_bundle: RayBundle, t_vals: np.ndarray,
+               dtype=np.float64,
+               arena: Optional[WorkspaceArena] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
     """Evaluate ``o + t * d`` for every sample of every ray.
 
     Returns ``(points, dirs)`` where ``points`` is ``(n_rays * n_samples, 3)``
     flattened in ray-major order and ``dirs`` repeats each ray direction for
     each of its samples (the per-point view direction fed to the color head).
     """
-    t_vals = np.asarray(t_vals, dtype=np.float64)
+    t_vals = np.asarray(t_vals, dtype=dtype)
     if t_vals.shape[0] != ray_bundle.n_rays:
         raise ValueError("t_vals row count must equal the number of rays")
-    points = (
-        ray_bundle.origins[:, None, :]
-        + t_vals[:, :, None] * ray_bundle.directions[:, None, :]
-    )
-    n_samples = t_vals.shape[1]
-    dirs = np.repeat(ray_bundle.directions, n_samples, axis=0)
-    return points.reshape(-1, 3), dirs
+    n_rays, n_samples = t_vals.shape
+    origins = ray_bundle.origins
+    directions = ray_bundle.directions
+    if origins.dtype != np.dtype(dtype):
+        cast = arena_buffer(arena, "rays/origins", origins.shape, dtype)
+        np.copyto(cast, origins, casting="same_kind")
+        origins = cast
+    if directions.dtype != np.dtype(dtype):
+        cast = arena_buffer(arena, "rays/directions", directions.shape, dtype)
+        np.copyto(cast, directions, casting="same_kind")
+        directions = cast
+    points = arena_buffer(arena, "rays/points", (n_rays, n_samples, 3), dtype)
+    np.multiply(t_vals[:, :, None], directions[:, None, :], out=points)
+    points += origins[:, None, :]
+    dirs = arena_buffer(arena, "rays/dirs", (n_rays, n_samples, 3), dtype)
+    dirs[...] = directions[:, None, :]
+    return points.reshape(-1, 3), dirs.reshape(-1, 3)
 
 
-def normalize_points_to_unit_cube(points: np.ndarray, scene_bound: float) -> np.ndarray:
+def normalize_points_to_unit_cube(points: np.ndarray, scene_bound: float,
+                                  dtype=np.float64,
+                                  arena: Optional[WorkspaceArena] = None
+                                  ) -> np.ndarray:
     """Map world-space points in ``[-scene_bound, scene_bound]^3`` to ``[0, 1]^3``.
 
     The hash grid is defined over the unit cube; points outside the scene
@@ -72,5 +121,9 @@ def normalize_points_to_unit_cube(points: np.ndarray, scene_bound: float) -> np.
     """
     if scene_bound <= 0:
         raise ValueError("scene_bound must be positive")
-    unit = (np.asarray(points, dtype=np.float64) + scene_bound) / (2.0 * scene_bound)
-    return np.clip(unit, 0.0, 1.0)
+    points = np.asarray(points, dtype=dtype)
+    unit = arena_buffer(arena, "rays/unit", points.shape, dtype)
+    np.add(points, scene_bound, out=unit)
+    unit /= 2.0 * scene_bound
+    np.clip(unit, 0.0, 1.0, out=unit)
+    return unit

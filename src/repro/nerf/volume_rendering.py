@@ -22,6 +22,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.utils.precision import PrecisionPolicy, resolve_policy
+from repro.utils.workspace import WorkspaceArena, arena_buffer
+
 
 @dataclass
 class RenderOutput:
@@ -38,12 +41,24 @@ class VolumeRenderer:
     """Differentiable volume compositor (Step ❹ of the training pipeline).
 
     ``white_background`` composites unaccumulated transmittance onto white,
-    matching the NeRF-Synthetic evaluation protocol.
+    matching the NeRF-Synthetic evaluation protocol.  ``policy`` selects the
+    compositing precision (the float64 default is bit-identical to the
+    pre-policy renderer, including its defensive upcast of every input
+    plane; float32 keeps policy-dtype inputs copy-free).  With an ``arena``
+    every per-batch plane — opacities, transmittance, weights, gradients —
+    comes from named reusable buffers, valid until the next pass.
     """
 
-    def __init__(self, white_background: bool = True):
+    def __init__(self, white_background: bool = True,
+                 policy: Optional[PrecisionPolicy] = None,
+                 arena: Optional[WorkspaceArena] = None):
         self.white_background = bool(white_background)
+        self.policy = resolve_policy(policy)
+        self.arena = arena
         self._cache: Optional[dict] = None
+
+    def _buf(self, key: str, shape) -> np.ndarray:
+        return arena_buffer(self.arena, f"vr/{key}", shape, self.policy.dtype)
 
     # -- forward ----------------------------------------------------------------
     def forward(self, sigmas: np.ndarray, rgbs: np.ndarray, deltas: np.ndarray,
@@ -57,26 +72,42 @@ class VolumeRenderer:
         deltas: ``(n_rays, n_samples)`` sample spacings.
         t_vals: ``(n_rays, n_samples)`` sample distances (for depth output).
         """
-        sigmas = np.asarray(sigmas, dtype=np.float64)
-        rgbs = np.asarray(rgbs, dtype=np.float64)
-        deltas = np.asarray(deltas, dtype=np.float64)
-        t_vals = np.asarray(t_vals, dtype=np.float64)
+        dt = self.policy.dtype
+        sigmas = np.asarray(sigmas, dtype=dt)
+        rgbs = np.asarray(rgbs, dtype=dt)
+        deltas = np.asarray(deltas, dtype=dt)
+        t_vals = np.asarray(t_vals, dtype=dt)
         if sigmas.shape != deltas.shape or sigmas.shape != t_vals.shape:
             raise ValueError("sigmas, deltas and t_vals must share shape (n_rays, n_samples)")
         if rgbs.shape != sigmas.shape + (3,):
             raise ValueError("rgbs must have shape (n_rays, n_samples, 3)")
 
-        optical_depth = sigmas * deltas                       # sigma_k * delta_k
-        alphas = 1.0 - np.exp(-optical_depth)                 # per-sample opacity
+        shape = sigmas.shape
+        n_rays = shape[0]
+        optical_depth = self._buf("optical_depth", shape)     # sigma_k * delta_k
+        np.multiply(sigmas, deltas, out=optical_depth)
+        alphas = self._buf("alphas", shape)                   # 1 - exp(-od)
+        np.negative(optical_depth, out=alphas)
+        np.exp(alphas, out=alphas)
+        np.subtract(1.0, alphas, out=alphas)
         # T_k = exp(-sum_{j<k} sigma_j delta_j): exclusive cumulative sum.
-        accumulated = np.cumsum(optical_depth, axis=1)
-        transmittance = np.exp(-(accumulated - optical_depth))
-        weights = transmittance * alphas
-        colors = np.einsum("ns,nsc->nc", weights, rgbs)
-        depth = np.einsum("ns,ns->n", weights, t_vals)
-        accumulation = weights.sum(axis=1)
+        transmittance = self._buf("transmittance", shape)
+        np.cumsum(optical_depth, axis=1, out=transmittance)
+        np.subtract(transmittance, optical_depth, out=transmittance)
+        np.negative(transmittance, out=transmittance)
+        np.exp(transmittance, out=transmittance)
+        weights = self._buf("weights", shape)
+        np.multiply(transmittance, alphas, out=weights)
+        colors = self._buf("colors", (n_rays, 3))
+        np.einsum("ns,nsc->nc", weights, rgbs, out=colors)
+        depth = self._buf("depth", (n_rays,))
+        np.einsum("ns,ns->n", weights, t_vals, out=depth)
+        accumulation = self._buf("accumulation", (n_rays,))
+        np.sum(weights, axis=1, out=accumulation)
         if self.white_background:
-            colors = colors + (1.0 - accumulation)[:, None]
+            background = self._buf("background", (n_rays,))
+            np.subtract(1.0, accumulation, out=background)
+            colors += background[:, None]
         self._cache = {
             "sigmas": sigmas,
             "rgbs": rgbs,
@@ -105,25 +136,37 @@ class VolumeRenderer:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         cache = self._cache
-        grad_colors = np.asarray(grad_colors, dtype=np.float64)
+        grad_colors = np.asarray(grad_colors, dtype=self.policy.dtype)
         rgbs = cache["rgbs"]
         weights = cache["weights"]
         transmittance = cache["transmittance"]
         deltas = cache["deltas"]
+        shape = weights.shape
 
         # dL/dc_k = w_k * dL/dC
-        grad_rgbs = weights[:, :, None] * grad_colors[:, None, :]
+        grad_rgbs = self._buf("grad_rgbs", shape + (3,))
+        np.multiply(weights[:, :, None], grad_colors[:, None, :], out=grad_rgbs)
 
         # g_k = dL/dw_k = <dL/dC, c_k>  (minus the white-background term,
         # because C += (1 - sum_k w_k) * 1 when compositing onto white).
-        g = np.einsum("nc,nsc->ns", grad_colors, rgbs)
+        g = self._buf("g", shape)
+        np.einsum("nc,nsc->ns", grad_colors, rgbs, out=g)
         if self.white_background:
-            g = g - grad_colors.sum(axis=1)[:, None]
+            channel_sum = self._buf("channel_sum", (shape[0],))
+            np.sum(grad_colors, axis=1, out=channel_sum)
+            g -= channel_sum[:, None]
 
-        gw = g * weights
+        gw = self._buf("gw", shape)
+        np.multiply(g, weights, out=gw)
         # suffix_k = sum_{j>k} g_j w_j  (exclusive reverse cumulative sum)
-        suffix = np.cumsum(gw[:, ::-1], axis=1)[:, ::-1] - gw
-        grad_sigmas = deltas * (g * (transmittance - weights) - suffix)
+        suffix = self._buf("suffix", shape)
+        np.cumsum(gw[:, ::-1], axis=1, out=suffix)
+        grad_sigmas = self._buf("grad_sigmas", shape)
+        np.subtract(suffix[:, ::-1], gw, out=grad_sigmas)     # suffix sums
+        np.subtract(transmittance, weights, out=suffix)       # reuse as T - w
+        suffix *= g
+        np.subtract(suffix, grad_sigmas, out=grad_sigmas)
+        grad_sigmas *= deltas
         return grad_sigmas, grad_rgbs
 
     # -- utility ------------------------------------------------------------------

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.activations import Identity, ReLU, _Activation
 from repro.nn.layers import Linear
 from repro.nn.parameter import Parameter
+from repro.utils.precision import PolicyLike
+from repro.utils.workspace import WorkspaceArena
 
 
 class MLP:
@@ -27,6 +29,7 @@ class MLP:
                  name: str = "mlp"):
         self.in_features = in_features
         self.out_features = out_features
+        self.name = name
         self.layers: List = []
         widths = [in_features, *hidden_features, out_features]
         for i, (w_in, w_out) in enumerate(zip(widths[:-1], widths[1:])):
@@ -37,7 +40,30 @@ class MLP:
             activation = output_activation() if is_last else hidden_activation()
             if not isinstance(activation, _Activation):
                 raise TypeError("activations must derive from _Activation")
+            activation.name = f"{name}.act{i}"
             self.layers.append(activation)
+        # The layer stack is fixed after construction, so the parameter list
+        # is built once instead of re-concatenated per zero_grad/step.
+        self._params: List[Parameter] = []
+        for layer in self.layers:
+            self._params.extend(layer.parameters())
+        self._num_parameters = sum(p.size for p in self._params)
+
+    def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
+        """Thread a workspace arena through every layer and activation."""
+        for layer in self.layers:
+            layer.set_arena(arena)
+
+    def set_policy(self, policy: PolicyLike) -> None:
+        """Set the compute-precision policy of the activations.
+
+        Linear compute stays float32 under both policies (storage
+        precision); only dtype-sensitive activations (e.g. the sigmoid's
+        exponent) follow the policy.
+        """
+        for layer in self.layers:
+            if isinstance(layer, _Activation):
+                layer.set_policy(policy)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the network; each layer caches state for the backward pass."""
@@ -54,13 +80,11 @@ class MLP:
         return grad
 
     def parameters(self) -> List[Parameter]:
-        params: List[Parameter] = []
-        for layer in self.layers:
-            params.extend(layer.parameters())
-        return params
+        """All layer parameters in layer order (cached list — do not mutate)."""
+        return self._params
 
     def zero_grad(self) -> None:
-        for param in self.parameters():
+        for param in self._params:
             param.zero_grad()
 
     # -- serialisation ------------------------------------------------------
@@ -81,7 +105,7 @@ class MLP:
 
     @property
     def num_parameters(self) -> int:
-        return sum(p.size for p in self.parameters())
+        return self._num_parameters
 
     @property
     def flops_per_sample(self) -> int:

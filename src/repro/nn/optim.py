@@ -11,11 +11,12 @@ serialisable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.nn.parameter import Parameter
+from repro.utils.workspace import WorkspaceArena, arena_buffer
 
 
 def _load_indexed_state(slots: Dict[int, np.ndarray], stored: Dict[str, Any],
@@ -46,13 +47,18 @@ class SGD:
     """Plain stochastic gradient descent with optional momentum."""
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
-                 momentum: float = 0.0):
+                 momentum: float = 0.0,
+                 arena: Optional[WorkspaceArena] = None):
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.parameters: List[Parameter] = list(parameters)
         self.lr = float(lr)
         self.momentum = float(momentum)
+        self.arena = arena
         self._velocity: Dict[int, np.ndarray] = {}
+
+    def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
+        self.arena = arena
 
     def step(self) -> None:
         """Apply one update using the gradients currently accumulated."""
@@ -63,7 +69,11 @@ class SGD:
                 vel *= self.momentum
                 vel += update
                 update = vel
-            param.data -= self.lr * update
+            # param.data -= lr * update, without the lr * update temporary.
+            scratch = arena_buffer(self.arena, "sgd/scratch", update.shape,
+                                   update.dtype)
+            np.multiply(self.lr, update, out=scratch)
+            param.data -= scratch
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -90,7 +100,8 @@ class Adam:
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
                  betas=(0.9, 0.99), eps: float = 1e-10,
-                 weight_decay: float = 0.0):
+                 weight_decay: float = 0.0,
+                 arena: Optional[WorkspaceArena] = None):
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.parameters: List[Parameter] = list(parameters)
@@ -98,12 +109,24 @@ class Adam:
         self.beta1, self.beta2 = float(betas[0]), float(betas[1])
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
+        self.arena = arena
         self._step_count = 0
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
 
+    def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
+        """Attach a workspace arena supplying the per-update scratch buffers."""
+        self.arena = arena
+
     def step(self) -> None:
-        """Apply one Adam update using the accumulated gradients."""
+        """Apply one Adam update using the accumulated gradients.
+
+        Every arithmetic step runs in place through two scratch buffers with
+        the exact operation order of the textbook expression
+        ``param -= lr * (m / bias1) / (sqrt(v / bias2) + eps)``, so results
+        are bit-identical to the allocating formulation while steady-state
+        steps allocate nothing.
+        """
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
@@ -113,13 +136,22 @@ class Adam:
                 grad = grad + self.weight_decay * param.data
             m = self._m.setdefault(index, np.zeros_like(param.data))
             v = self._v.setdefault(index, np.zeros_like(param.data))
+            t1 = arena_buffer(self.arena, "adam/t1", grad.shape, grad.dtype)
+            t2 = arena_buffer(self.arena, "adam/t2", grad.shape, grad.dtype)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(1.0 - self.beta1, grad, out=t1)
+            m += t1
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(1.0 - self.beta2, grad, out=t1)
+            t1 *= grad
+            v += t1
+            np.divide(m, bias1, out=t1)          # m_hat
+            np.multiply(self.lr, t1, out=t1)     # lr * m_hat
+            np.divide(v, bias2, out=t2)          # v_hat
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            t1 /= t2
+            param.data -= t1
 
     def zero_grad(self) -> None:
         for param in self.parameters:

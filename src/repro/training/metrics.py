@@ -39,7 +39,8 @@ def render_view(model: DecoupledRadianceField, camera: PinholeCamera,
                 scene_bound: float, n_samples: int = 48,
                 white_background: bool = True, chunk_rays: int = 2048,
                 occupancy: Optional[OccupancyGrid] = None,
-                early_termination_tau: Optional[float] = None):
+                early_termination_tau: Optional[float] = None,
+                policy=None):
     """Render a full image and depth map from a trained model.
 
     Rays are streamed through a :class:`~repro.nerf.pipeline.RenderPipeline`
@@ -47,6 +48,9 @@ def render_view(model: DecoupledRadianceField, camera: PinholeCamera,
     known-empty cells, and ``early_termination_tau`` stops marching rays
     whose transmittance has dropped below the threshold — both default to
     off, which renders densely (bit-identical to the pre-pipeline renderer).
+    ``policy`` selects the compositing precision (``None`` = the float64
+    reference); the trainer forwards its config's policy here so evaluation
+    renders use the same precision as training.
 
     Returns ``(rgb, depth)`` with shapes ``(H, W, 3)`` and ``(H, W)``.
     """
@@ -56,6 +60,7 @@ def render_view(model: DecoupledRadianceField, camera: PinholeCamera,
         white_background=white_background, occupancy=occupancy,
         culling_enabled=occupancy is not None,
         early_termination_tau=early_termination_tau,
+        policy=policy,
     )
     colors = np.empty((bundle.n_rays, 3))
     depths = np.empty(bundle.n_rays)
@@ -99,12 +104,14 @@ def evaluate_model(model: DecoupledRadianceField, dataset: SceneDataset,
                    n_views: Optional[int] = None, n_samples: int = 48,
                    white_background: bool = True,
                    occupancy: Optional[OccupancyGrid] = None,
-                   early_termination_tau: Optional[float] = None) -> EvaluationResult:
+                   early_termination_tau: Optional[float] = None,
+                   policy=None) -> EvaluationResult:
     """Render test views of ``dataset`` with ``model`` and average PSNR.
 
-    ``occupancy`` and ``early_termination_tau`` are forwarded to
+    ``occupancy``, ``early_termination_tau`` and ``policy`` are forwarded to
     :func:`render_view`, so evaluation renders benefit from the same sample
-    culling as training when the caller (e.g. the trainer) provides them.
+    culling and compute precision as training when the caller (e.g. the
+    trainer) provides them.
     """
     views = dataset.test_views if n_views is None else dataset.test_views[:n_views]
     if not views:
@@ -116,6 +123,7 @@ def evaluate_model(model: DecoupledRadianceField, dataset: SceneDataset,
             model, view.camera, dataset.scene_bound,
             n_samples=n_samples, white_background=white_background,
             occupancy=occupancy, early_termination_tau=early_termination_tau,
+            policy=policy,
         )
         rgb_scores.append(psnr(rgb, view.rgb))
         depth_scores.append(

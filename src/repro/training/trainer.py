@@ -36,6 +36,7 @@ from repro.nerf.pipeline import RenderPipeline
 from repro.nn.optim import Adam
 from repro.training.metrics import EvaluationResult, evaluate_model
 from repro.utils.seeding import derive_rng, derive_seed, get_rng_state, set_rng_state
+from repro.utils.workspace import WorkspaceArena
 
 
 @dataclass
@@ -169,6 +170,15 @@ class Trainer:
                 occupancy_threshold=self.config.occupancy_threshold,
                 seed=derive_seed(seed, f"{dataset.name}:occupancy"),
             )
+        # One workspace arena per run: every per-iteration temporary — grid
+        # query planes, MLP activations, renderer planes/gradients, optimiser
+        # scratch — comes from named reusable buffers, so steady-state steps
+        # perform no large allocations (misses only while shapes grow).
+        # ``reuse_workspace=False`` restores fresh-allocation semantics.
+        self.arena = (WorkspaceArena() if self.config.reuse_workspace
+                      else None)
+        self.policy = self.config.precision_policy
+        model.set_arena(self.arena)
         self.pipeline = RenderPipeline(
             model, dataset.scene_bound,
             n_samples=self.config.n_samples_per_ray,
@@ -176,11 +186,15 @@ class Trainer:
             occupancy=self.occupancy,
             culling_enabled=self.config.culling_enabled,
             early_termination_tau=self.config.early_termination_tau,
+            policy=self.policy,
+            arena=self.arena,
         )
         self.density_optimizer = Adam(model.density_parameters(),
-                                      lr=self.config.learning_rate)
+                                      lr=self.config.learning_rate,
+                                      arena=self.arena)
         self.color_optimizer = Adam(model.color_parameters(),
-                                    lr=self.config.learning_rate)
+                                    lr=self.config.learning_rate,
+                                    arena=self.arena)
         self._pixel_rng = derive_rng(seed, f"{dataset.name}:pixels")
         self._sample_rng = derive_rng(seed, f"{dataset.name}:samples")
         self.iteration = 0
@@ -222,6 +236,7 @@ class Trainer:
         caches are transient and deliberately not captured).
         """
         state: Dict[str, Any] = {
+            "compute_dtype": self.config.compute_dtype,
             "iteration": int(self.iteration),
             "density_updates": int(self.density_updates),
             "color_updates": int(self.color_updates),
@@ -245,6 +260,13 @@ class Trainer:
         When ``history`` is given it is filled from the snapshot's recorded
         series; a snapshot saved without a history then raises.
         """
+        stored_dtype = state.get("compute_dtype")
+        if stored_dtype is not None and stored_dtype != self.config.compute_dtype:
+            raise ValueError(
+                f"checkpoint was trained under compute_dtype="
+                f"{stored_dtype!r} but this trainer uses "
+                f"{self.config.compute_dtype!r}; resume is only bit-exact "
+                f"within one precision policy")
         if (state["occupancy"] is None) != (self.occupancy is None):
             raise ValueError(
                 "checkpoint culling state does not match this trainer's "
@@ -284,7 +306,8 @@ class Trainer:
         out = self.pipeline.render_rays(bundle, rng=self._sample_rng)
 
         # ❺ — loss.
-        loss, grad_colors = mse_loss(out.render.colors, targets)
+        loss, grad_colors = mse_loss(out.render.colors, targets,
+                                     dtype=self.policy.dtype)
 
         # ❻ — back-propagation with per-branch update schedule, touching only
         # the samples that were queried.  A batch whose samples were all
@@ -345,6 +368,7 @@ class Trainer:
                     white_background=self.config.white_background,
                     occupancy=self.occupancy,
                     early_termination_tau=self.config.early_termination_tau,
+                    policy=self.policy,
                 )
                 history.record_eval(self.iteration, result)
 
@@ -356,6 +380,7 @@ class Trainer:
             white_background=self.config.white_background,
             occupancy=self.occupancy,
             early_termination_tau=self.config.early_termination_tau,
+            policy=self.policy,
         )
         return TrainingResult(
             history=history,

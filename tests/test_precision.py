@@ -1,0 +1,323 @@
+"""Differential tests for the unified compute-precision policy + workspace arena.
+
+Four contracts anchor the tentpole:
+
+(a) the ``float64`` policy (the default) is *bit-identical* to the
+    pre-policy trainer — the frozen reference loop reproduces the same
+    losses and parameters, dense and culled — so every existing experiment
+    and checkpoint is unaffected;
+(b) the ``float32`` fast path consumes the **same RNG draws** and tracks the
+    float64 trajectory within float-precision tolerance (and its fused
+    engine still matches the per-level reference engine);
+(c) the workspace arena is allocation-bookkeeping only: steady-state train
+    steps serve every buffer from the arena (zero misses) and results are
+    bit-identical with the arena disabled;
+(d) checkpoints record the policy dtype, refuse to resume across policies,
+    and resume bit-identically within one.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from test_pipeline import _force_fully_occupied, _params_equal, _reference_dense_run
+
+from repro.core.config import Instant3DConfig
+from repro.core.model import DecoupledRadianceField
+from repro.core.schedule import UpdateSchedule
+from repro.grid.hash_encoding import HashGridConfig, MultiResHashGrid
+from repro.io import CheckpointError, load_trainer_checkpoint, save_trainer_checkpoint
+from repro.nn.layers import Linear
+from repro.training.trainer import Trainer, TrainingHistory
+from repro.utils.precision import FLOAT32, FLOAT64, PrecisionPolicy, resolve_policy
+from repro.utils.seeding import new_rng
+from repro.utils.workspace import WorkspaceArena
+from repro.nn.activations import _Activation
+
+
+class TestPrecisionPolicy:
+    def test_resolve(self):
+        assert resolve_policy(None) is FLOAT64
+        assert resolve_policy("float32") is FLOAT32
+        assert resolve_policy(np.float64) is FLOAT64
+        assert resolve_policy(FLOAT32) is FLOAT32
+        assert resolve_policy(np.dtype("float32")) is FLOAT32
+
+    def test_dtypes(self):
+        assert FLOAT32.dtype == np.float32
+        assert FLOAT32.complex_dtype == np.complex64
+        assert FLOAT64.dtype == np.float64
+        assert FLOAT64.complex_dtype == np.complex128
+        assert FLOAT64.is_reference and not FLOAT32.is_reference
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_policy("float16")
+        with pytest.raises(ValueError):
+            PrecisionPolicy("int8")
+        with pytest.raises(ValueError):
+            Instant3DConfig(compute_dtype="half")
+
+    def test_config_policy(self, tiny_config):
+        assert tiny_config.precision_policy is FLOAT64
+        f32 = dataclasses.replace(tiny_config, compute_dtype="float32")
+        assert f32.precision_policy is FLOAT32
+
+
+class TestWorkspaceArena:
+    def test_reuse_and_growth(self):
+        arena = WorkspaceArena()
+        a = arena.buffer("x", (4, 3), np.float32)
+        assert a.shape == (4, 3) and a.dtype == np.float32
+        b = arena.buffer("x", (2, 3), np.float32)      # smaller: same backing
+        assert np.shares_memory(a, b)
+        c = arena.buffer("x", (64, 3), np.float32)     # larger: regrown
+        assert c.shape == (64, 3)
+        assert arena.misses == 2 and arena.hits == 1
+
+    def test_zeros_and_stats(self):
+        arena = WorkspaceArena()
+        z = arena.zeros("z", 8, np.float64)
+        assert np.all(z == 0.0)
+        z[:] = 5.0
+        assert np.all(arena.zeros("z", 8, np.float64) == 0.0)
+        assert arena.total_bytes >= 64
+        arena.reset_stats()
+        assert arena.hits == 0 and arena.misses == 0
+        arena.buffer("z", 8, np.float64)
+        assert arena.hit_rate == 1.0
+
+    def test_distinct_names_and_dtypes_do_not_alias(self):
+        arena = WorkspaceArena()
+        a = arena.buffer("a", 16, np.float32)
+        b = arena.buffer("b", 16, np.float32)
+        c = arena.buffer("a", 16, np.float64)
+        assert not np.shares_memory(a, b)
+        assert not np.shares_memory(a, c)
+
+
+class TestFloat64ReferenceBitIdentity:
+    def test_explicit_float64_matches_frozen_reference(self, tiny_config,
+                                                       tiny_dataset):
+        """(a) compute_dtype='float64' reproduces the pre-policy trainer."""
+        config = dataclasses.replace(tiny_config, compute_dtype="float64")
+        ref_model, ref_losses = _reference_dense_run(tiny_dataset, config,
+                                                     seed=0, n_steps=20)
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        losses = [trainer.train_step()["loss"] for _ in range(20)]
+        assert losses == ref_losses
+        assert _params_equal(model, ref_model)
+
+    def test_arena_is_value_neutral(self, tiny_config, tiny_dataset):
+        """(c) reuse_workspace=False produces bit-identical trajectories."""
+        with_arena = dataclasses.replace(tiny_config, reuse_workspace=True)
+        without = dataclasses.replace(tiny_config, reuse_workspace=False)
+        m1 = DecoupledRadianceField(with_arena, seed=0)
+        m2 = DecoupledRadianceField(without, seed=0)
+        t1 = Trainer(m1, tiny_dataset, config=with_arena, seed=0)
+        t2 = Trainer(m2, tiny_dataset, config=without, seed=0)
+        assert t1.arena is not None and t2.arena is None
+        l1 = [t1.train_step()["loss"] for _ in range(12)]
+        l2 = [t2.train_step()["loss"] for _ in range(12)]
+        assert l1 == l2
+        assert _params_equal(m1, m2)
+
+    def test_culled_float64_fully_occupied_matches_dense(self, tiny_config,
+                                                         tiny_dataset):
+        """(a) the culled float64 path is unchanged too."""
+        dense = dataclasses.replace(tiny_config, compute_dtype="float64")
+        dense_model = DecoupledRadianceField(dense, seed=0)
+        dense_trainer = Trainer(dense_model, tiny_dataset, config=dense, seed=0)
+        dense_losses = [dense_trainer.train_step()["loss"] for _ in range(10)]
+
+        culled = dataclasses.replace(
+            dense, culling_enabled=True, occupancy_warmup_iterations=10 ** 6)
+        culled_model = DecoupledRadianceField(culled, seed=0)
+        culled_trainer = Trainer(culled_model, tiny_dataset, config=culled,
+                                 seed=0)
+        _force_fully_occupied(culled_trainer.occupancy)
+        culled_losses = [culled_trainer.train_step()["loss"] for _ in range(10)]
+        assert culled_losses == dense_losses
+        assert _params_equal(culled_model, dense_model)
+
+
+class TestFloat32FastPath:
+    @staticmethod
+    def _losses(config, dataset, n_steps, seed=0):
+        model = DecoupledRadianceField(config, seed=seed)
+        trainer = Trainer(model, dataset, config=config, seed=seed)
+        return [trainer.train_step()["loss"] for _ in range(n_steps)], trainer
+
+    def test_tracks_float64_within_tolerance(self, tiny_config, tiny_dataset):
+        """(b) same RNG draws, float-precision-only divergence."""
+        f64 = dataclasses.replace(tiny_config, compute_dtype="float64")
+        f32 = dataclasses.replace(tiny_config, compute_dtype="float32")
+        l64, _ = self._losses(f64, tiny_dataset, 20)
+        l32, _ = self._losses(f32, tiny_dataset, 20)
+        np.testing.assert_allclose(l32, l64, rtol=1e-3)
+
+    def test_culled_float32_trains(self, tiny_config, tiny_dataset):
+        config = dataclasses.replace(
+            tiny_config, compute_dtype="float32", culling_enabled=True,
+            occupancy_warmup_iterations=8, occupancy_update_every=4)
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        history = TrainingHistory()
+        trainer.run_steps(80, history)
+        assert history.queries_kept[-1] < history.queries_total[-1]
+        assert history.losses[-1] < history.losses[0]
+        result = trainer.finalize(history, eval_samples=16)
+        assert np.isfinite(result.rgb_psnr)
+
+    def test_fused_engine_matches_per_level_loop(self, tiny_grid_config):
+        grid32 = MultiResHashGrid(tiny_grid_config, rng=new_rng(0),
+                                  policy=FLOAT32)
+        loop32 = MultiResHashGrid(tiny_grid_config, rng=new_rng(0),
+                                  policy=FLOAT32, fused=False)
+        points = new_rng(3).uniform(size=(512, 3)).astype(np.float32)
+        out_fused = grid32.forward(points)
+        out_loop = loop32.forward(points)
+        assert out_fused.dtype == np.float32
+        np.testing.assert_allclose(out_fused, out_loop, atol=1e-5)
+        assert np.array_equal(grid32.last_access.flat_addresses(),
+                              loop32.last_access.flat_addresses())
+        grad = np.ones((512, tiny_grid_config.n_output_features),
+                       dtype=np.float32)
+        grid32.zero_grad(); grid32.backward(grad)
+        loop32.zero_grad(); loop32.backward(grad)
+        for a, b in zip(grid32.levels, loop32.levels):
+            np.testing.assert_allclose(a.table.grad, b.table.grad, atol=1e-4)
+
+    def test_chunked_query_bit_identical(self, tiny_grid_config):
+        whole = MultiResHashGrid(tiny_grid_config, rng=new_rng(0),
+                                 policy=FLOAT32)
+        chunked = MultiResHashGrid(tiny_grid_config, rng=new_rng(0),
+                                   policy=FLOAT32, max_chunk_points=100)
+        points = new_rng(3).uniform(size=(513, 3))
+        assert np.array_equal(whole.forward(points), chunked.forward(points))
+
+
+class TestDtypeDiscipline:
+    def test_no_silent_linear_conversions_under_float32(self, tiny_config,
+                                                        tiny_dataset):
+        """Satellite: the float32 policy feeds every Linear float32 arrays —
+        zero silent copies across forward and backward of a train step."""
+        config = dataclasses.replace(tiny_config, compute_dtype="float32")
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        for _ in range(3):
+            trainer.train_step()
+        layers = [l for mlp in (model.density_mlp, model.color_mlp)
+                  for l in mlp.layers if isinstance(l, Linear)]
+        assert layers
+        assert sum(l.conversions for l in layers) == 0
+
+    def test_conversion_counter_detects_copies(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        layer.forward(np.ones((3, 4), dtype=np.float64))
+        assert layer.conversions == 1
+        layer.forward(np.ones((3, 4), dtype=np.float32))
+        assert layer.conversions == 1
+
+    def test_float32_planes_end_to_end(self, tiny_config, tiny_dataset):
+        config = dataclasses.replace(tiny_config, compute_dtype="float32")
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        trainer.train_step()
+        renderer = trainer.pipeline.renderer
+        assert renderer._cache["sigmas"].dtype == np.float32
+        assert renderer._cache["weights"].dtype == np.float32
+        assert model.encoder.density_grid._last_weight_planes.dtype == np.float32
+
+
+class TestArenaSteadyState:
+    def test_zero_misses_after_warmup(self, tiny_config, tiny_dataset):
+        """The zero-allocation contract: after shapes stabilise, every
+        per-iteration buffer is an arena hit."""
+        config = dataclasses.replace(tiny_config, compute_dtype="float32")
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        for _ in range(3):
+            trainer.train_step()
+        trainer.arena.reset_stats()
+        for _ in range(5):
+            trainer.train_step()
+        assert trainer.arena.misses == 0
+        assert trainer.arena.hits > 0
+        assert trainer.arena.hit_rate == 1.0
+
+    def test_components_propagate_arena(self, tiny_config, tiny_dataset):
+        model = DecoupledRadianceField(tiny_config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=tiny_config, seed=0)
+        arena = trainer.arena
+        assert model.arena is arena
+        assert model.encoder.density_grid.arena is arena
+        assert trainer.pipeline.arena is arena
+        assert trainer.pipeline.renderer.arena is arena
+        assert trainer.density_optimizer.arena is arena
+        for mlp in (model.density_mlp, model.color_mlp):
+            for layer in mlp.layers:
+                assert layer.arena is arena
+                if isinstance(layer, _Activation):
+                    assert layer.name is not None
+
+
+class TestCheckpointPrecision:
+    def test_roundtrip_preserves_dtype_and_resumes_bit_identically(
+            self, tiny_config, tiny_dataset, tmp_path):
+        config = dataclasses.replace(tiny_config, compute_dtype="float32")
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        history = TrainingHistory()
+        trainer.run_steps(8, history)
+        path = tmp_path / "f32.ckpt.npz"
+        save_trainer_checkpoint(path, trainer, history=history)
+
+        restored = Trainer(DecoupledRadianceField(config, seed=0),
+                           tiny_dataset, config=config, seed=0)
+        restored_history = TrainingHistory()
+        load_trainer_checkpoint(path, restored, history=restored_history)
+        assert restored.iteration == trainer.iteration
+        continued = [trainer.train_step()["loss"] for _ in range(6)]
+        resumed = [restored.train_step()["loss"] for _ in range(6)]
+        assert continued == resumed
+
+    def test_state_dict_records_policy(self, tiny_config, tiny_dataset):
+        config = dataclasses.replace(tiny_config, compute_dtype="float32")
+        trainer = Trainer(DecoupledRadianceField(config, seed=0),
+                          tiny_dataset, config=config, seed=0)
+        assert trainer.state_dict()["compute_dtype"] == "float32"
+
+    def test_cross_policy_resume_rejected(self, tiny_config, tiny_dataset,
+                                          tmp_path):
+        f32 = dataclasses.replace(tiny_config, compute_dtype="float32")
+        trainer = Trainer(DecoupledRadianceField(f32, seed=0), tiny_dataset,
+                          config=f32, seed=0)
+        trainer.train_step()
+        path = tmp_path / "f32.ckpt.npz"
+        save_trainer_checkpoint(path, trainer)
+
+        f64 = dataclasses.replace(tiny_config, compute_dtype="float64")
+        other = Trainer(DecoupledRadianceField(f64, seed=0), tiny_dataset,
+                        config=f64, seed=0)
+        with pytest.raises(CheckpointError, match="compute_dtype"):
+            load_trainer_checkpoint(path, other)
+
+
+class TestScheduleClosedForm:
+    @pytest.mark.parametrize("frequency", [1.0, 0.5, 0.25, 0.75, 1 / 3, 0.9,
+                                           0.123, 2 / 7])
+    @pytest.mark.parametrize("n", [0, 1, 7, 64, 257])
+    def test_matches_loop_oracle(self, frequency, n):
+        schedule = UpdateSchedule(frequency)
+        assert schedule.updates_in(n) == schedule._updates_in_loop(n)
+
+    def test_property_random_frequencies(self):
+        rng = new_rng(7)
+        for _ in range(50):
+            frequency = float(rng.uniform(0.01, 1.0))
+            n = int(rng.integers(0, 200))
+            schedule = UpdateSchedule(frequency)
+            assert schedule.updates_in(n) == schedule._updates_in_loop(n)
