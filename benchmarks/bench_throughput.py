@@ -1,6 +1,8 @@
-"""Throughput benchmark: grid engine, culled pipeline, fleet, checkpoints, precision.
+"""Throughput benchmark: grid engine, culled pipeline, fleet, checkpoints,
+precision, sparse updates.
 
-Five measurements back the engine, pipeline, io and precision layers:
+Six measurements back the engine, pipeline, io, precision and optimiser
+layers:
 
 1. **Grid engine** — forward + backward points/sec of the fused stacked-kernel
    engine versus the original per-level loop on a 65k-point batch, with a
@@ -25,6 +27,15 @@ Five measurements back the engine, pipeline, io and precision layers:
    still reproduces the frozen pre-policy trainer exactly, and the
    workspace-arena allocation ledger (steady-state arena hit rate, peak
    per-iteration temporary bytes via tracemalloc).
+6. **Sparse updates** — the ``sparse_updates=True`` path (COO gradient
+   emission + touched-rows-only lazy Adam) against the dense gradient/dense
+   Adam path: optimiser-step and backward-scatter wall time versus hash-table
+   size (up to a paper-representative 2^19-entry table at culling-level
+   batch sparsity), a 20-step differential that the COO path is bit-identical
+   to its dense-representation oracle, and the measured touched-address trace
+   replayed through the modeled
+   :class:`~repro.accelerator.bum.BackPropUpdateMerger` so the software
+   sparsity statistics and the hardware unit's merge rate sit side by side.
 
 Results are printed and written to ``BENCH_throughput.json`` next to the
 repository root.  ``--smoke`` shrinks all measurements for CI (< 30 s).
@@ -43,6 +54,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.accelerator.bum import BackPropUpdateMerger
 from repro.core.model import DecoupledRadianceField
 from repro.core.schedule import BranchSchedules
 from repro.datasets import nerf_synthetic_like
@@ -54,8 +66,10 @@ from repro.nerf.volume_rendering import VolumeRenderer
 from repro.io import load_trainer_checkpoint, save_trainer_checkpoint
 from repro.nn.optim import Adam
 from repro.training.fleet import SceneFleet
+from repro.training.profiler import PhaseTimer, TrainPhase
 from repro.training.trainer import Trainer, TrainingHistory
 from repro.utils.seeding import derive_rng, new_rng
+from repro.utils.workspace import WorkspaceArena
 
 try:
     from benchmarks.common import bench_config, print_report
@@ -259,21 +273,28 @@ def bench_dense_vs_culled(n_iterations: int, image_size: int,
         "batch_queries_reduction": dense_tail / max(culled_tail, 1.0),
         "keep_fraction_tail": culled_hist.mean_keep_fraction(tail),
         "occupancy_fraction": culled_result.final_occupancy_fraction,
-        # rays/s is the comparable work unit (both runs march the same rays);
-        # points/s divides each run's *own* field queries by its time, so the
-        # culled figure is naturally lower — less work per ray, on purpose.
+        # rays/s is the comparable work unit (both runs march the same rays).
+        # Per-point rates are split so the table cannot contradict its own
+        # speedup: ``candidate_points_per_s`` divides the dense rays x
+        # samples *candidate* product by wall time (the rate at which the
+        # run disposes of candidate samples — culling raises it), while
+        # ``kept_points_per_s`` divides only the samples that actually
+        # reached the field (the culled figure is naturally *lower*: fewer
+        # queries per ray, on purpose).
         "dense": {
             "train_s": dense_s,
             "iters_per_s": n_iterations / max(dense_s, 1e-9),
             "rays_per_s": n_iterations * dense_config.batch_pixels / max(dense_s, 1e-9),
-            "points_per_s": dense_result.queries_kept / max(dense_s, 1e-9),
+            "kept_points_per_s": dense_result.queries_kept / max(dense_s, 1e-9),
+            "candidate_points_per_s": dense_result.queries_total / max(dense_s, 1e-9),
             "rgb_psnr": dense_result.rgb_psnr,
         },
         "culled": {
             "train_s": culled_s,
             "iters_per_s": n_iterations / max(culled_s, 1e-9),
             "rays_per_s": n_iterations * dense_config.batch_pixels / max(culled_s, 1e-9),
-            "points_per_s": culled_result.queries_kept / max(culled_s, 1e-9),
+            "kept_points_per_s": culled_result.queries_kept / max(culled_s, 1e-9),
+            "candidate_points_per_s": culled_result.queries_total / max(culled_s, 1e-9),
             "rgb_psnr": culled_result.rgb_psnr,
         },
         "train_speedup": dense_s / max(culled_s, 1e-9),
@@ -488,11 +509,13 @@ def bench_precision(n_iterations: int, image_size: int,
             peaks.append(tracemalloc.get_traced_memory()[1] - before)
         tracemalloc.stop()
         arena = trainer.arena
+        # Arena counters are ``null`` (not a sentinel) for the reference run
+        # without an arena — there is no meaningful miss count to report.
         stats = {
             "peak_temporary_bytes_per_iter": float(np.mean(peaks)),
-            "arena_hit_rate": arena.hit_rate if arena is not None else 0.0,
-            "arena_misses_steady": arena.misses if arena is not None else -1,
-            "arena_bytes": arena.total_bytes if arena is not None else 0,
+            "arena_hit_rate": arena.hit_rate if arena is not None else None,
+            "arena_misses_steady": arena.misses if arena is not None else None,
+            "arena_bytes": arena.total_bytes if arena is not None else None,
         }
         return stats
 
@@ -533,6 +556,217 @@ def bench_precision(n_iterations: int, image_size: int,
     }
 
 
+#: Keep fraction mirrored from the culling section's measured tail
+#: (``keep_fraction_tail`` ~ 0.08): the sparse-update benchmark queries this
+#: share of the paper-shaped compute batch (the precision section's
+#: 2048 x 48 rays x samples), drawn inside an occupied sub-volume of the
+#: same share, so the touched-address distribution matches what an
+#: occupancy-culled training step scatters.
+SPARSE_KEEP_FRACTION = 0.08
+SPARSE_PAPER_BATCH = 2048 * 48
+SPARSE_SAMPLES_PER_RAY = 48
+
+
+def _sparse_size_measurement(log2_size: int, n_points: int,
+                             repeats: int) -> dict:
+    """Dense vs COO+lazy optimiser-step (and backward) time at one table size."""
+    grid_config = HashGridConfig(
+        n_levels=8,
+        n_features_per_level=2,
+        log2_hashmap_size=log2_size,
+        base_resolution=16,
+        finest_resolution=256,
+    )
+    # Culling-level clustering with ray structure: the surviving samples of
+    # a culled batch concentrate in occupied cells (a sub-box whose volume
+    # is the keep fraction of the unit cube) and reach the scatter in
+    # ray-major order — consecutive samples march along a ray and share
+    # voxel corners, the temporal locality the paper's BUM merge window
+    # exploits.  Uniform i.i.d. points would misrepresent both the touched
+    # row count and the merge rate.
+    side = SPARSE_KEEP_FRACTION ** (1.0 / 3.0)
+    rng = new_rng(2)
+    n_rays = max(1, n_points // SPARSE_SAMPLES_PER_RAY)
+    origins = 0.3 + side * rng.uniform(size=(n_rays, 3))
+    dirs = rng.normal(size=(n_rays, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    t_vals = np.linspace(0.0, side, SPARSE_SAMPLES_PER_RAY)
+    points = origins[:, None, :] + t_vals[None, :, None] * dirs[:, None, :]
+    points = np.clip(points, 0.3, 0.3 + side).reshape(-1, 3)
+    n_points = points.shape[0]
+    grad = new_rng(3).standard_normal(
+        (n_points, grid_config.n_output_features))
+
+    # One arena per engine, as the trainer runs them: steady-state timing
+    # then measures the algorithms, not allocator/page-fault traffic.
+    dense_arena, coo_arena = WorkspaceArena(), WorkspaceArena()
+    dense = MultiResHashGrid(grid_config, rng=new_rng(0), sparse_mode=None,
+                             arena=dense_arena)
+    coo = MultiResHashGrid(grid_config, rng=new_rng(0), sparse_mode="coo",
+                           arena=coo_arena)
+    dense_opt = Adam(dense.parameters(), lr=1e-2, arena=dense_arena)
+    coo_opt = Adam(coo.parameters(), lr=1e-2, arena=coo_arena)
+
+    def backward_step(grid):
+        grid.zero_grad()
+        grid.backward(grad)
+
+    # Populate gradients once and verify the COO emission is bit-identical
+    # to the dense scatter before any timing.
+    for grid in (dense, coo):
+        grid.forward(points)
+        backward_step(grid)
+    sparse_grad = coo.table.sparse_grad
+    dense_rows = np.flatnonzero(np.any(dense.table.grad != 0.0, axis=1))
+    if sparse_grad is None:
+        scatter_matches = dense_rows.size == 0
+    else:
+        scatter_matches = bool(
+            np.array_equal(sparse_grad.rows, dense_rows)
+            and np.array_equal(sparse_grad.values,
+                               dense.table.grad[dense_rows]))
+
+    touched = int(coo.last_touched_rows)
+    total_entries = int(coo.total_table_entries)
+    # Each engine is timed in its own best-of block (not interleaved): a
+    # sparse-mode trainer never runs the dense optimiser between its steps,
+    # and interleaving would let the dense engine's full-table streaming
+    # evict the sparse engine's (much smaller) working set between calls —
+    # measuring cache pollution that cannot occur in either real mode.
+    def _time_blocked(fns: dict) -> dict:
+        best = {}
+        for name, fn in fns.items():
+            best[name] = min(_timed(fn) for _ in range(repeats))
+        return best
+
+    bwd_times = _time_blocked({"dense": lambda: backward_step(dense),
+                               "sparse": lambda: backward_step(coo)})
+    opt_times = _time_blocked({"dense": dense_opt.step,
+                               "sparse": coo_opt.step})
+    return {
+        "log2_hashmap_size": log2_size,
+        "total_entries": total_entries,
+        "n_points": n_points,
+        "touched_rows": touched,
+        "touched_fraction": touched / total_entries,
+        "scatter_matches_dense": bool(scatter_matches),
+        "backward_scatter_ms": {name: t * 1e3 for name, t in bwd_times.items()},
+        "optimizer_step_ms": {name: t * 1e3 for name, t in opt_times.items()},
+        "backward_speedup": bwd_times["dense"] / bwd_times["sparse"],
+        "optimizer_speedup": opt_times["dense"] / opt_times["sparse"],
+        # The touched-address trace of this measurement feeds the BUM replay.
+        "_trace": coo.last_access.flat_addresses(),
+    }
+
+
+def bench_sparse(table_log2_sizes, repeats: int, differential_steps: int,
+                 phase_iterations: int, bum_trace_cap: int) -> dict:
+    """Sparse-gradient backward + lazy optimiser vs the dense path.
+
+    Four sub-measurements:
+
+    * **differential** — ``differential_steps`` culled training steps under
+      ``sparse_updates=True``: the COO representation against its
+      dense-representation oracle (``sparse_oracle=True``), asserted
+      loss- and parameter-bit-identical;
+    * **optimiser-step speedup vs table size** — standalone grids at
+      increasing ``log2_hashmap_size`` (up to the paper-representative
+      2^19-entry tables), a culling-level-sparsity batch, per-engine
+      best-of-block timing of the dense Adam step vs the touched-rows-only
+      lazy step (and of the dense bincount scatter vs the COO
+      sort+segment-sum) — deliberately *not* interleaved, since neither
+      real mode ever runs the other engine between its own steps (see
+      ``_time_blocked``);
+    * **BUM side by side** — the *measured* touched-address trace of the
+      largest grid replayed through the modeled
+      :class:`BackPropUpdateMerger`, so the software sparsity statistics
+      (unique touched rows = the writes a perfect merger would issue) sit
+      next to the hardware unit's finite-buffer merge rate;
+    * **phase attribution** — a short end-to-end culled training run per
+      mode with a :class:`PhaseTimer` attached, splitting wall time into
+      backward-scatter vs optimiser-step so the win lands in the right
+      column.
+    """
+    dataset = nerf_synthetic_like(["lego"], n_train_views=6, n_test_views=1,
+                                  image_size=20)[0]
+    base = dataclasses.replace(bench_config(0.25, 0.5), culling_enabled=True)
+    coo_config = dataclasses.replace(base, sparse_updates=True)
+    oracle_config = dataclasses.replace(coo_config, sparse_oracle=True)
+
+    # Differential: COO vs dense-representation oracle, bit-identical.
+    def _probe(config):
+        trainer = Trainer(DecoupledRadianceField(config, seed=0), dataset,
+                          config=config, seed=0)
+        losses = [trainer.train_step()["loss"]
+                  for _ in range(differential_steps)]
+        return trainer, losses
+
+    coo_trainer, coo_losses = _probe(coo_config)
+    oracle_trainer, oracle_losses = _probe(oracle_config)
+    sparse_matches_dense = coo_losses == oracle_losses and all(
+        np.array_equal(a.data, b.data)
+        for a, b in zip(coo_trainer.model.parameters(),
+                        oracle_trainer.model.parameters()))
+    if not sparse_matches_dense:
+        raise AssertionError(
+            "COO sparse path deviates from its dense-representation oracle")
+
+    n_points = int(round(SPARSE_KEEP_FRACTION * SPARSE_PAPER_BATCH))
+    sizes = [_sparse_size_measurement(s, n_points, repeats)
+             for s in table_log2_sizes]
+    largest = sizes[-1]
+    trace = largest.pop("_trace")
+    for row in sizes[:-1]:
+        row.pop("_trace")
+
+    # BUM replay on (a bounded prefix of) the measured scatter trace.
+    bum_trace = trace[:bum_trace_cap]
+    bum_result = BackPropUpdateMerger().process(bum_trace)
+    software_unique = int(np.unique(bum_trace).size)
+    bum = {
+        "trace_updates_total": int(trace.size),
+        "trace_updates_replayed": int(bum_trace.size),
+        "software_touched_rows": largest["touched_rows"],
+        "software_touched_fraction": largest["touched_fraction"],
+        # A perfect (unbounded-buffer) merger would issue one SRAM write per
+        # unique address in the replayed window; the modeled finite-buffer
+        # BUM approaches that bound.
+        "software_write_reduction": 1.0 - software_unique / max(bum_trace.size, 1),
+        "bum_write_reduction": bum_result.write_reduction,
+        "bum_merge_rate": bum_result.merge_rate,
+        "bum_sram_writes": bum_result.n_sram_writes,
+    }
+
+    # Phase attribution: end-to-end culled training, dense vs sparse mode.
+    # Warm-up runs past the occupancy grid's warm-up and several refreshes,
+    # so the timed steps see converged culling-level batch sparsity.
+    def _phases(config):
+        trainer = Trainer(DecoupledRadianceField(config, seed=0), dataset,
+                          config=config, seed=0)
+        for _ in range(64):
+            trainer.train_step()
+        trainer.profiler = PhaseTimer()
+        for _ in range(phase_iterations):
+            trainer.train_step()
+        return trainer.profiler.summary()
+
+    phases = {"dense": _phases(base), "sparse": _phases(coo_config)}
+
+    return {
+        "differential_steps": differential_steps,
+        "sparse_matches_dense": bool(sparse_matches_dense),
+        "keep_fraction": SPARSE_KEEP_FRACTION,
+        "sizes": sizes,
+        "sparse_optimizer_speedup": largest["optimizer_speedup"],
+        "sparse_backward_speedup": largest["backward_speedup"],
+        "bum": bum,
+        "phase_ms_per_iter": {
+            mode: {name: stats["mean_ms"] for name, stats in summary.items()}
+            for mode, summary in phases.items()
+        },
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -551,6 +785,11 @@ def main() -> None:
         ckpt_iterations, ckpt_image = 24, 20
         precision_iterations, precision_image = 60, 20
         precision_batch, precision_samples, precision_timing = 512, 32, 6
+        # The 2^19-entry table stays in the smoke run: the CI assertion on
+        # the sparse-optimiser speedup must see paper-representative
+        # sparsity, which small tables cannot exhibit.
+        sparse_sizes, sparse_repeats = (14, 19), 3
+        sparse_diff_steps, sparse_phase_iters, bum_cap = 20, 20, 40000
     else:
         engine_points, repeats = ENGINE_BATCH, 9
         fleet_scenes, fleet_iterations, fleet_image = 3, 80, 28
@@ -558,6 +797,8 @@ def main() -> None:
         ckpt_iterations, ckpt_image = 60, 28
         precision_iterations, precision_image = 150, 28
         precision_batch, precision_samples, precision_timing = 2048, 48, 10
+        sparse_sizes, sparse_repeats = (14, 16, 19), 7
+        sparse_diff_steps, sparse_phase_iters, bum_cap = 20, 60, 120000
 
     engine = bench_grid_engine(engine_points, repeats)
     rows = []
@@ -652,9 +893,41 @@ def main() -> None:
           f"steady-state large allocs/iter: "
           f"{alloc['large_allocs_per_iter_steady']}")
 
+    sparse = bench_sparse(sparse_sizes, sparse_repeats, sparse_diff_steps,
+                          sparse_phase_iters, bum_cap)
+    print_report(
+        f"Sparse updates: dense Adam vs COO + lazy step "
+        f"({sparse['sizes'][0]['n_points']} touched-batch points, "
+        f"keep fraction {sparse['keep_fraction']:.2f})",
+        ["table entries", "touched rows", "optimizer dense/sparse (ms)",
+         "speedup", "backward speedup"],
+        [
+            [f"{row['total_entries']}",
+             f"{row['touched_rows']} ({row['touched_fraction']:.1%})",
+             f"{row['optimizer_step_ms']['dense']:.2f} / "
+             f"{row['optimizer_step_ms']['sparse']:.2f}",
+             f"{row['optimizer_speedup']:.2f}x",
+             f"{row['backward_speedup']:.2f}x"]
+            for row in sparse["sizes"]
+        ],
+    )
+    bum = sparse["bum"]
+    phase = sparse["phase_ms_per_iter"]
+    print(f"sparse matches dense oracle over {sparse['differential_steps']} "
+          f"steps: {sparse['sparse_matches_dense']}   "
+          f"BUM merge rate {bum['bum_merge_rate']:.3f} / write reduction "
+          f"{bum['bum_write_reduction']:.3f} vs software perfect-merge "
+          f"{bum['software_write_reduction']:.3f}")
+    print("phase ms/iter (dense -> sparse): "
+          + "   ".join(
+              f"{name} {phase['dense'].get(name, 0.0):.2f} -> "
+              f"{phase['sparse'].get(name, 0.0):.2f}"
+              for name in (TrainPhase.BACKWARD_SCATTER,
+                           TrainPhase.OPTIMIZER_STEP)))
+
     payload = {"engine": engine, "culling": culling, "fleet": fleet,
                "checkpoint": checkpoint, "precision": precision,
-               "smoke": bool(args.smoke)}
+               "sparse": sparse, "smoke": bool(args.smoke)}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nWrote {args.output}")
 

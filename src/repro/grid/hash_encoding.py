@@ -348,15 +348,32 @@ class MultiResHashGrid:
         ``None`` allocates fresh arrays per call (the original semantics).
         With an arena attached, the returned embeddings and the access
         record of a query are only valid until the next ``forward`` call.
+    sparse_mode:
+        Gradient representation of the backward pass.  ``None`` (default)
+        keeps the dense gradient table.  ``"coo"`` makes :meth:`backward`
+        emit one compacted ``(unique_addresses, accumulated_grads)`` COO
+        pair (:class:`~repro.nn.parameter.SparseGrad`) over the grid's
+        backing table instead of expanding to dense zeros — the scatter
+        trace is deduplicated with a sort + segment-sum whose per-row sums
+        are **bit-identical** to the dense ``np.bincount`` scatter — and
+        flags the table for the optimiser's touched-rows-only lazy update.
+        ``"oracle"`` keeps the dense gradient representation (this exact
+        backward) while still flagging the table for lazy updates: the
+        bit-exact dense-representation oracle the COO path is
+        differentially tested against.  In ``"coo"`` mode the emitted
+        arrays live in the arena (valid for one optimiser step) and the
+        dense ``grad`` table is never written nor cleared.
     """
 
     def __init__(self, config: HashGridConfig, rng: np.random.Generator,
                  name: str = "grid", fused: bool = True,
                  max_chunk_points: Optional[int] = None,
                  policy: Optional[PrecisionPolicy] = None,
-                 arena: Optional[WorkspaceArena] = None):
+                 arena: Optional[WorkspaceArena] = None,
+                 sparse_mode: Optional[str] = None):
         if max_chunk_points is not None and max_chunk_points < 1:
             raise ValueError("max_chunk_points must be >= 1 or None")
+        # sparse_mode is validated by set_sparse_mode (called below).
         self.config = config
         self.name = name
         self.fused = bool(fused)
@@ -400,10 +417,22 @@ class MultiResHashGrid:
         self._hash_sizes_u64 = hash_sizes.astype(np.uint64)
         self._hash_all_pow2 = bool(
             ((hash_sizes & (hash_sizes - 1)) == 0).all()) if hash_sizes.size else True
-        # Reused concatenated-table buffer (refreshed each forward, since the
-        # optimiser mutates the per-level tables in place between queries).
-        self._table_cat = np.empty((int(self._level_bounds[-1]),
-                                    config.n_features_per_level), dtype=np.float32)
+        # One backing Parameter holds every level's rows contiguously — "the
+        # hash table" of this grid.  The per-level Parameters are rebound to
+        # views into it, so the fused engine gathers from the backing
+        # directly (no per-forward concatenation copy) and the optimiser
+        # sees the whole grid as a single table: one gather/scatter set per
+        # (sparse) update instead of one per level.  Level-local reads and
+        # in-place writes (per-level loop engine, checkpoints, tests) keep
+        # working through the views.
+        backing = np.concatenate([level.table.data for level in self.levels],
+                                 axis=0)
+        self.table = Parameter(backing, name=f"{name}.tables")
+        offset = 0
+        for level in self.levels:
+            level.table.data = self.table.data[offset:offset + level.table_size]
+            level.table.grad = self.table.grad[offset:offset + level.table_size]
+            offset += level.table_size
         # Voxel-lattice integer dtype: base coordinates and dense-level index
         # arithmetic run in int32 whenever every value fits (they are bounded
         # by the per-level table size) — the float->int32 cast vectorises
@@ -436,9 +465,38 @@ class MultiResHashGrid:
         self._last_points: Optional[np.ndarray] = None
         self._last_addr_planes: Optional[np.ndarray] = None
         self._last_weight_planes: Optional[np.ndarray] = None
-        # The level stack is fixed after construction, so the parameter list
-        # is built once instead of concatenated per zero_grad/step.
-        self._params: List[Parameter] = [level.table for level in self.levels]
+        # The trainable surface is the single backing table.
+        self._params: List[Parameter] = [self.table]
+        self.sparse_mode: Optional[str] = None
+        #: Sparsity statistics of the most recent fused backward: touched
+        #: (unique, non-zero) table rows across all levels, and the raw
+        #: scatter-update count (8 corner updates per (level, point) pair).
+        #: ``None`` until a fused backward has run.
+        self.last_touched_rows: Optional[int] = None
+        self.last_scatter_updates: Optional[int] = None
+        self.set_sparse_mode(sparse_mode)
+
+    def set_sparse_mode(self, sparse_mode: Optional[str]) -> None:
+        """Select the backward gradient representation (see class docs).
+
+        Flags every level table for the optimiser: both sparse modes mark
+        the tables for touched-rows-only lazy updates; ``"coo"``
+        additionally routes gradients through the COO slot so the dense
+        tables are never written (nor cleared per step).
+        """
+        if sparse_mode not in (None, "coo", "oracle"):
+            raise ValueError(
+                f"sparse_mode must be None, 'coo' or 'oracle', got {sparse_mode!r}")
+        self.sparse_mode = sparse_mode
+        for param in [self.table] + [level.table for level in self.levels]:
+            param.sparse = sparse_mode is not None
+            param.coo_grads = sparse_mode == "coo"
+            param.sparse_grad = None
+        # Clear unconditionally: entering COO mode with a stale dense
+        # gradient would otherwise violate the all-zero dense-grad
+        # invariant permanently (zero_grad skips the dense clear in COO
+        # mode), and the oracle/dense modes expect a clean accumulator.
+        self.table.grad.fill(0.0)
 
     def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
         """Attach (or detach) a workspace arena for query-plane reuse."""
@@ -466,14 +524,12 @@ class MultiResHashGrid:
     _CORNER_XY_Z = ((0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1), (3, 1))
 
     def _concat_table(self) -> np.ndarray:
-        """Concatenate the per-level feature tables into one ``(T, F)`` array.
+        """The concatenated ``(T, F)`` feature table of all levels.
 
-        The destination buffer is owned by the grid and reused across calls;
-        only the copy (no allocation) happens per query.
+        Since the per-level tables are views into the single backing
+        Parameter, this is the backing's data itself — no per-query copy.
         """
-        np.concatenate([level.table.data for level in self.levels], axis=0,
-                       out=self._table_cat)
-        return self._table_cat
+        return self.table.data
 
     def _fused_query_into(self, points: np.ndarray, table: np.ndarray,
                           addr_planes: np.ndarray, weight_planes: np.ndarray,
@@ -724,7 +780,9 @@ class MultiResHashGrid:
             raise ValueError(
                 f"grad_embeddings shape {grad_embeddings.shape} does not match {expected}"
             )
-        if self.fused:
+        if self.fused or self.sparse_mode == "coo":
+            # COO emission always runs through the fused scatter (it can
+            # rebuild the corner planes from a per-level-engine record).
             self._backward_fused(grad_embeddings)
             return
         f = self.config.n_features_per_level
@@ -773,6 +831,10 @@ class MultiResHashGrid:
             fg = self._buf(f"bwd/fg{j}", (n_levels, n), grad_embeddings.dtype)
             fg[...] = grad3[:, :, j].T
             feature_grads.append(fg)
+        if self.sparse_mode == "coo":
+            self._scatter_sparse(addr_planes, weight_planes, feature_grads,
+                                 n, f)
+            return
         acc = self._buf("bwd/acc", (f, total), np.float64)
         acc.fill(0.0)
         contrib = self._buf("bwd/contrib", (n_levels, n), np.float64)
@@ -785,18 +847,87 @@ class MultiResHashGrid:
                                       minlength=total)
         acc = acc.T
         touched = np.flatnonzero(np.any(acc != 0.0, axis=1))
-        bounds = np.searchsorted(touched, self._level_bounds)
+        self.last_touched_rows = int(touched.size)
+        self.last_scatter_updates = int(addr_planes.size)
         # Sized at the table bound (not the batch-dependent touched count)
         # so the steady-state arena never regrows it.
         acc_touched = self._buf("bwd/acc_touched", (total, f),
                                 np.float64)[:touched.size]
         np.take(acc, touched, axis=0, out=acc_touched)
-        for idx, level in enumerate(self.levels):
-            lo, hi = bounds[idx], bounds[idx + 1]
-            if lo == hi:
-                continue
-            rows = touched[lo:hi] - self._offsets_arr[idx]
-            level.table.grad[rows] += acc_touched[lo:hi].astype(np.float32)
+        self.table.grad[touched] += acc_touched.astype(np.float32)
+
+    def _scatter_sparse(self, addr_planes: np.ndarray,
+                        weight_planes: np.ndarray,
+                        feature_grads: List[np.ndarray],
+                        n: int, f: int) -> None:
+        """Deduplicated COO scatter: sort + segment-sum, no dense tables.
+
+        The flat scatter trace (``8 * L * N`` global addresses) is sorted
+        once; a rank pass compacts it to the unique touched addresses and
+        every corner's contributions are segment-summed with ``np.bincount``
+        over the *rank* indices.  Because bincount accumulates duplicate
+        buckets in scan order, each touched row's float64 sum is
+        **bit-identical** to the dense scatter's value for that row, and the
+        float32 cast afterwards matches the dense path's cast — the COO
+        pair is the dense gradient table minus its zeros.  Rows whose
+        float32 gradient rounds to all-zero are dropped so the touched set
+        equals the nonzero-row set the dense-oracle optimiser derives.
+
+        Cost scales with the trace and touched-row sizes — never with the
+        table size.  All buffers come from the workspace arena (when
+        attached) except ``np.argsort``'s result and the per-corner bincount
+        outputs (both bounded by trace/touched size; NumPy offers no ``out=``
+        for either).  The COO pair handed to the backing table's
+        :meth:`Parameter.add_sparse_grad` holds arena views, valid until the
+        next backward — exactly one optimiser step.
+        """
+        n_levels = len(self.levels)
+        m = int(addr_planes.size)
+        if m == 0:
+            self.last_touched_rows = 0
+            self.last_scatter_updates = 0
+            return
+        flat_all = addr_planes.reshape(-1)
+        order = np.argsort(flat_all)
+        sorted_addr = self._buf("bwds/sorted", m, np.int64)
+        np.take(flat_all, order, out=sorted_addr)
+        flags = self._buf("bwds/flags", m, bool)
+        flags[0] = True
+        np.not_equal(sorted_addr[1:], sorted_addr[:-1], out=flags[1:])
+        rank = self._buf("bwds/rank", m, np.int64)
+        np.cumsum(flags, out=rank)
+        rank -= 1                                 # unique-id of each sorted slot
+        n_unique = int(rank[-1]) + 1
+        unique_addr = self._buf("bwds/unique", n_unique, np.int64)
+        unique_addr[rank] = sorted_addr           # duplicate writes agree
+        inverse = self._buf("bwds/inverse", m, np.int64)
+        inverse[order] = rank
+        inv_planes = inverse.reshape(8, n_levels, n)
+        acc = self._buf("bwds/acc", (f, n_unique), np.float64)
+        acc.fill(0.0)
+        contrib = self._buf("bwd/contrib", (n_levels, n), np.float64)
+        for corner in range(8):
+            inv_flat = inv_planes[corner].reshape(-1)
+            corner_weight = weight_planes[corner]
+            for j in range(f):
+                np.multiply(corner_weight, feature_grads[j], out=contrib)
+                acc[j] += np.bincount(inv_flat, weights=contrib.ravel(),
+                                      minlength=n_unique)
+        vals32 = self._buf("bwds/vals32", (n_unique, f), np.float32)
+        np.copyto(vals32, acc.T, casting="unsafe")
+        nz = self._buf("bwds/nz", (n_unique, f), bool)
+        np.not_equal(vals32, 0.0, out=nz)
+        keep = self._buf("bwds/keep", n_unique, bool)
+        np.any(nz, axis=1, out=keep)
+        kept = np.flatnonzero(keep)
+        rows = self._buf("bwds/rows", kept.size, np.int64)
+        np.take(unique_addr, kept, out=rows)
+        vals = self._buf("bwds/vals", (kept.size, f), np.float32)
+        np.take(vals32, kept, axis=0, out=vals)
+        self.last_touched_rows = int(kept.size)
+        self.last_scatter_updates = m
+        if kept.size:
+            self.table.add_sparse_grad(rows, vals)
 
     # -- tracing / bookkeeping ------------------------------------------------
     @property
@@ -818,7 +949,12 @@ class MultiResHashGrid:
         return sum(level.storage_bytes for level in self.levels)
 
     def parameters(self) -> List[Parameter]:
-        """The per-level feature tables (cached list — do not mutate)."""
+        """The single backing table Parameter (cached list — do not mutate).
+
+        The per-level tables are views into it; exposing one Parameter per
+        grid is what lets the optimiser update (or lazily skip) the whole
+        grid with a single gather/scatter set.
+        """
         return self._params
 
     def zero_grad(self) -> None:

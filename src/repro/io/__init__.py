@@ -11,6 +11,7 @@ for single-scene trainers and by
 
 from repro.io.checkpoint import (
     CHECKPOINT_FORMAT,
+    CHECKPOINT_MIN_VERSION,
     CHECKPOINT_VERSION,
     Checkpoint,
     CheckpointError,
@@ -22,6 +23,7 @@ from repro.io.checkpoint import (
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CHECKPOINT_MIN_VERSION",
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointError",

@@ -45,7 +45,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 #: Identifies the file format inside the manifest.
 CHECKPOINT_FORMAT = "repro-checkpoint"
 #: Bumped whenever the manifest layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: Version history:
+#:   1 — original layout (hash grids exposed one Parameter per level, so
+#:       optimiser moments were keyed/shaped per level);
+#:   2 — each grid's levels are backed by a single master-table Parameter:
+#:       optimiser state holds one table-sized moment array per grid.
+CHECKPOINT_VERSION = 2
+#: Oldest version this library can still restore.  Version-1 optimiser
+#: state cannot be mapped onto the master-table parameters, so such files
+#: are rejected up front with a clear error instead of failing deep inside
+#: the moment-shape validation.
+CHECKPOINT_MIN_VERSION = 2
 #: npz member that stores the JSON manifest.
 _MANIFEST_KEY = "__manifest__"
 #: Manifest placeholder key referencing an npz array member.
@@ -182,10 +192,12 @@ def load_checkpoint(path: PathLike, *,
             raise CheckpointError(
                 f"{path} has unknown format {manifest.get('format')!r}")
         version = int(manifest.get("version", -1))
-        if not 1 <= version <= CHECKPOINT_VERSION:
+        if not CHECKPOINT_MIN_VERSION <= version <= CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"{path} has unsupported checkpoint version {version} "
-                f"(this library supports <= {CHECKPOINT_VERSION})")
+                f"(this library supports {CHECKPOINT_MIN_VERSION}.."
+                f"{CHECKPOINT_VERSION}; version 1 files predate the "
+                f"master-table grid layout and cannot be restored)")
         kind = manifest.get("kind", "state")
         if expected_kind is not None and kind != expected_kind:
             raise CheckpointError(
@@ -212,9 +224,14 @@ def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
 
     The snapshot restores bit-identically: model parameters, both optimiser
     states (moments + step counts), the occupancy grid (density planes,
-    counters and probe-RNG state) and the pixel/sample RNG streams.
+    counters and probe-RNG state) and the pixel/sample RNG streams.  Under
+    ``sparse_updates=True`` the optimisers' deferred lazy-moment decay is
+    flushed into the snapshot (canonical plain moment arrays — no per-row
+    counters on disk) and the manifest records the mode, which
+    :meth:`Trainer.load_state_dict` checks against the restoring config.
     """
-    meta = {"scene": trainer.dataset.name, "iteration": int(trainer.iteration)}
+    meta = {"scene": trainer.dataset.name, "iteration": int(trainer.iteration),
+            "sparse_updates": bool(trainer.config.sparse_updates)}
     if metadata:
         meta.update(metadata)
     return save_checkpoint(path, {"trainer": trainer.state_dict(history=history)},

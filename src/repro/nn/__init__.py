@@ -21,7 +21,7 @@ accumulates parameter gradients, mirroring the structure of the CUDA kernels
 the paper profiles.
 """
 
-from repro.nn.parameter import Parameter
+from repro.nn.parameter import Parameter, SparseGrad
 from repro.nn.layers import Linear
 from repro.nn.activations import ReLU, Sigmoid, TruncatedExp, Identity, Softplus
 from repro.nn.mlp import MLP
@@ -30,6 +30,7 @@ from repro.nn.gradcheck import numerical_gradient
 
 __all__ = [
     "Parameter",
+    "SparseGrad",
     "Linear",
     "ReLU",
     "Sigmoid",

@@ -7,11 +7,43 @@ silently alias one parameter's state onto an unrelated parameter that
 happens to be allocated at the same address — and identity keys cannot
 round-trip through a checkpoint.  Index keys are stable, collision-free and
 serialisable.
+
+Sparse / lazy updates
+---------------------
+Parameters flagged ``sparse`` (the hash-grid tables under
+``Instant3DConfig(sparse_updates=True)``) receive **touched-rows-only lazy
+updates**, mirroring the accelerator's backward-update-merging unit, which
+only ever writes touched hash-table entries back to SRAM:
+
+* rows carrying a gradient this step get the full moment + bias-correction
+  update at the current global step count;
+* untouched rows are not visited at all — their pending moment decay is
+  recorded through a per-row *last-step* counter and applied as a
+  closed-form ``beta ** k`` catch-up the next time the row is touched
+  (``k`` = steps since the last touch), which is arithmetically the
+  deferred form of decaying every step;
+* untouched rows receive **no parameter update** while their gradient is
+  zero.  This is where the lazy semantics deliberately differ from plain
+  dense Adam, whose bias-corrected momentum keeps nudging a row for many
+  steps after its last gradient — exactly the per-entry work (and SRAM
+  traffic) the paper's hardware never performs.
+
+Gradients arrive either as a compacted COO pair
+(:attr:`Parameter.sparse_grad`, produced by the grid backward) or — the
+dense-representation *oracle* used for differential testing — as an ordinary
+dense ``grad`` array whose non-zero rows define the touched set.  Both
+representations run the identical row-update arithmetic, so they are
+bit-identical.
+
+``state_dict()`` **flushes** the deferred decay first (every row's moments
+are brought up to the current step), so serialised moments are canonical
+plain arrays: checkpoints need no per-row counters, and a save → load →
+continue run is bit-identical to the saving run's own continuation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,8 +75,105 @@ def _dump_indexed_state(slots: Dict[int, np.ndarray]) -> Dict[str, np.ndarray]:
     return {str(index): array.copy() for index, array in sorted(slots.items())}
 
 
+def _state_slot(slots: Dict[int, np.ndarray], index: int,
+                template: np.ndarray, dtype=None) -> np.ndarray:
+    """The per-parameter state array, created zeroed on first use.
+
+    (``dict.setdefault`` would evaluate — allocate and zero — the default
+    table-sized array on *every* call; this helper only pays on the miss.)
+    """
+    slot = slots.get(index)
+    if slot is None:
+        slot = slots[index] = (np.zeros_like(template) if dtype is None
+                               else np.zeros(template.shape[0], dtype=dtype))
+    return slot
+
+
+def _touched_rows(param: Parameter) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``(rows, values)`` gradient of a sparse parameter, either
+    representation.
+
+    COO gradients are returned as-is; the dense-oracle representation
+    derives the touched set from the non-zero rows of ``param.grad`` (which
+    matches the COO emitter's filter exactly — it drops rows whose float32
+    accumulated gradient is entirely zero).
+    """
+    if param.sparse_grad is not None:
+        return param.sparse_grad.rows, param.sparse_grad.values
+    if param.coo_grads:
+        # COO invariant: the dense grad is all-zero by construction, so a
+        # missing sparse_grad means nothing was touched this step — skip
+        # the O(table) non-zero scan the sparse mode exists to eliminate.
+        return np.empty(0, dtype=np.int64), param.grad[:0]
+    grad = param.grad
+    if grad.ndim == 1:
+        rows = np.flatnonzero(grad != 0.0)
+    else:
+        rows = np.flatnonzero(
+            np.any(grad != 0.0, axis=tuple(range(1, grad.ndim))))
+    return rows, grad[rows]
+
+
+def _broadcast_tail(factors: np.ndarray, ndim: int) -> np.ndarray:
+    """Reshape per-row ``(U,)`` factors to broadcast over trailing axes."""
+    return factors.reshape(factors.shape + (1,) * (ndim - 1))
+
+
+def _pow_by_exponent(beta: float, k: np.ndarray,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``beta ** k`` for an integer array ``k >= 0``.
+
+    Evaluates ``np.power`` once per *distinct exponent* (a table over
+    ``[0, k.max()]`` — gap lengths are bounded by the step count, so the
+    table is tiny) and gathers, instead of one scalar ``pow`` per element.
+    Bit-identical to ``np.power(beta, k)``: the same scalar power is
+    evaluated at the same integer exponents.
+    """
+    table = np.power(np.float64(beta), np.arange(int(k.max()) + 1,
+                                                 dtype=np.int64))
+    if out is None:
+        return table[k]
+    np.take(table.astype(out.dtype, copy=False), k, out=out)
+    return out
+
+
+def _flat_rows_view(arr: np.ndarray) -> Optional[np.ndarray]:
+    """A one-element-per-row flat view of a C-contiguous ``(T, 2)`` float32
+    array (as complex64), or ``None`` when the layout doesn't allow it.
+
+    Row gathers/scatters through this view run as single flat takes —
+    substantially faster than 2-D fancy indexing — and ``F == 2`` float32
+    is exactly the layout of every hash-table parameter (the same trick the
+    fused grid engine's gather uses).
+    """
+    if (arr.ndim == 2 and arr.shape[1] == 2 and arr.dtype == np.float32
+            and arr.flags.c_contiguous):
+        return arr.view(np.complex64).reshape(-1)
+    return None
+
+
+def _rebuild_last_step(slots: Dict[int, np.ndarray], indices,
+                       parameters: List[Parameter], step_count: int) -> None:
+    """Recreate last-touch counters after a checkpoint load.
+
+    ``state_dict()`` flushes before serialising, so every serialised row is
+    decayed up to ``step_count`` — the counters are uniform and need not be
+    stored.  ``indices`` iterates the parameter indices holding state.
+    """
+    slots.clear()
+    for index in indices:
+        if parameters[index].sparse:
+            slots[index] = np.full(parameters[index].data.shape[0],
+                                   step_count, dtype=np.int32)
+
+
 class SGD:
-    """Plain stochastic gradient descent with optional momentum."""
+    """Plain stochastic gradient descent with optional momentum.
+
+    ``sparse`` parameters take the lazy row-update path described in the
+    module docstring (velocity decay caught up as ``momentum ** k``); dense
+    parameters are untouched by it.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
                  momentum: float = 0.0,
@@ -55,17 +184,23 @@ class SGD:
         self.lr = float(lr)
         self.momentum = float(momentum)
         self.arena = arena
+        self._step_count = 0
         self._velocity: Dict[int, np.ndarray] = {}
+        self._last_step: Dict[int, np.ndarray] = {}
 
     def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
         self.arena = arena
 
     def step(self) -> None:
         """Apply one update using the gradients currently accumulated."""
+        self._step_count += 1
         for index, param in enumerate(self.parameters):
+            if param.sparse:
+                self._step_sparse(index, param)
+                continue
             update = param.grad
             if self.momentum > 0.0:
-                vel = self._velocity.setdefault(index, np.zeros_like(param.data))
+                vel = _state_slot(self._velocity, index, param.data)
                 vel *= self.momentum
                 vel += update
                 update = vel
@@ -75,27 +210,74 @@ class SGD:
             np.multiply(self.lr, update, out=scratch)
             param.data -= scratch
 
+    def _step_sparse(self, index: int, param: Parameter) -> None:
+        """Touched-rows-only update with lazy momentum catch-up."""
+        rows, vals = _touched_rows(param)
+        if rows.size == 0:
+            return
+        vals64 = vals.astype(np.float64)
+        if self.momentum > 0.0:
+            vel = _state_slot(self._velocity, index, param.data)
+            last = _state_slot(self._last_step, index, param.data,
+                               dtype=np.int32)
+            k = self._step_count - last[rows]
+            last[rows] = self._step_count
+            vel64 = vel[rows].astype(np.float64)
+            vel64 *= _broadcast_tail(_pow_by_exponent(self.momentum, k),
+                                     vals64.ndim)
+            vel64 += vals64
+            vel[rows] = vel64
+            update = vel64
+        else:
+            update = vals64
+        param.data[rows] -= self.lr * update
+
+    def _flush_lazy(self) -> None:
+        """Apply all deferred velocity decay (every row up to the current step)."""
+        for index, last in self._last_step.items():
+            stale = np.flatnonzero(last < self._step_count)
+            if stale.size == 0:
+                continue
+            k = self._step_count - last[stale]
+            vel = self._velocity[index]
+            vel[stale] *= _broadcast_tail(_pow_by_exponent(self.momentum, k),
+                                          vel.ndim)
+            last[stale] = self._step_count
+
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
 
     # -- serialisation ------------------------------------------------------
     def state_dict(self) -> Dict[str, Any]:
-        """Serialisable optimiser state (momentum velocities by index)."""
-        return {"velocity": _dump_indexed_state(self._velocity)}
+        """Serialisable optimiser state (momentum velocities by index).
+
+        Deferred lazy decay is **flushed first** (see the module docstring),
+        which rebases the live optimiser too — the saving run's continuation
+        and a load-and-continue run stay bit-identical to each other.
+        """
+        self._flush_lazy()
+        return {"step_count": int(self._step_count),
+                "velocity": _dump_indexed_state(self._velocity)}
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore :meth:`state_dict`; continuation is bit-identical."""
         _load_indexed_state(self._velocity, state["velocity"], self.parameters,
                             "velocity")
+        self._step_count = int(state.get("step_count", 0))
+        _rebuild_last_step(self._last_step, self._velocity, self.parameters,
+                           self._step_count)
 
 
 class Adam:
     """Adam optimiser, the optimiser used by Instant-NGP for both MLPs and grids.
 
     The hash-grid tables receive extremely sparse gradients (only touched
-    entries are non-zero); Adam's per-element moment estimates handle that
-    without any special casing, exactly as in the reference implementation.
+    entries are non-zero).  Dense parameters (and every parameter when
+    ``sparse_updates`` is off) run the textbook per-element update; ``sparse``
+    parameters run the touched-rows-only lazy update of the module
+    docstring, whose per-step cost scales with the touched-row count instead
+    of the table size.
     """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
@@ -113,6 +295,8 @@ class Adam:
         self._step_count = 0
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        #: Per sparse parameter: the step each row's moments are decayed to.
+        self._last_step: Dict[int, np.ndarray] = {}
 
     def set_arena(self, arena: Optional[WorkspaceArena]) -> None:
         """Attach a workspace arena supplying the per-update scratch buffers."""
@@ -121,21 +305,25 @@ class Adam:
     def step(self) -> None:
         """Apply one Adam update using the accumulated gradients.
 
-        Every arithmetic step runs in place through two scratch buffers with
-        the exact operation order of the textbook expression
-        ``param -= lr * (m / bias1) / (sqrt(v / bias2) + eps)``, so results
-        are bit-identical to the allocating formulation while steady-state
-        steps allocate nothing.
+        Every arithmetic step of the dense path runs in place through two
+        scratch buffers with the exact operation order of the textbook
+        expression ``param -= lr * (m / bias1) / (sqrt(v / bias2) + eps)``,
+        so results are bit-identical to the allocating formulation while
+        steady-state steps allocate nothing.  ``sparse`` parameters branch
+        to the lazy row update instead.
         """
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
         for index, param in enumerate(self.parameters):
+            if param.sparse:
+                self._step_sparse(index, param, bias1, bias2)
+                continue
             grad = param.grad
             if self.weight_decay > 0.0:
                 grad = grad + self.weight_decay * param.data
-            m = self._m.setdefault(index, np.zeros_like(param.data))
-            v = self._v.setdefault(index, np.zeros_like(param.data))
+            m = _state_slot(self._m, index, param.data)
+            v = _state_slot(self._v, index, param.data)
             t1 = arena_buffer(self.arena, "adam/t1", grad.shape, grad.dtype)
             t2 = arena_buffer(self.arena, "adam/t2", grad.shape, grad.dtype)
             m *= self.beta1
@@ -153,6 +341,119 @@ class Adam:
             t1 /= t2
             param.data -= t1
 
+    def _step_sparse(self, index: int, param: Parameter,
+                     bias1: float, bias2: float) -> None:
+        """Touched-rows-only Adam update with ``beta ** k`` moment catch-up.
+
+        Gathers the touched rows' moments, applies the deferred decay of the
+        ``k`` steps since each row's last touch (the current step included),
+        folds in this step's gradient and writes back — every pass is
+        ``O(touched)`` rows, never ``O(table)``.  Like the dense path, the
+        arithmetic runs in single precision (moments are float32 storage);
+        the decay factors are float32 roundings of exact float64 powers.
+        The COO and dense-oracle gradient representations share this code,
+        so they are bit-identical by construction.
+        """
+        rows, vals = _touched_rows(param)
+        n_rows = int(rows.size)
+        if n_rows == 0:
+            return            # nothing touched: every row's decay stays deferred
+        m = _state_slot(self._m, index, param.data)
+        v = _state_slot(self._v, index, param.data)
+        last = _state_slot(self._last_step, index, param.data,
+                           dtype=np.int32)
+        arena = self.arena
+        k = arena_buffer(arena, "adam/sp_k", n_rows, np.int32)
+        np.take(last, rows, out=k)
+        np.subtract(np.int32(self._step_count), k, out=k)        # k >= 1
+        last[rows] = self._step_count
+        c1 = _pow_by_exponent(self.beta1, k,
+                              arena_buffer(arena, "adam/sp_c1", n_rows,
+                                           np.float32))
+        c2 = _pow_by_exponent(self.beta2, k,
+                              arena_buffer(arena, "adam/sp_c2", n_rows,
+                                           np.float32))
+        # Gather the touched rows of the moments and the parameter into
+        # contiguous scratch.  The hash-table layout ((T, 2) float32,
+        # contiguous) goes through flat complex64 views — one flat take per
+        # array instead of 2-D fancy indexing — and all arithmetic below
+        # then runs on contiguous float32 blocks.
+        mflat = _flat_rows_view(m)
+        vflat = _flat_rows_view(v)
+        dflat = _flat_rows_view(param.data)
+        if mflat is not None and vflat is not None and dflat is not None:
+            mg = arena_buffer(arena, "adam/sp_mg", n_rows, np.complex64)
+            vg = arena_buffer(arena, "adam/sp_vg", n_rows, np.complex64)
+            dg = arena_buffer(arena, "adam/sp_dg", n_rows, np.complex64)
+            np.take(mflat, rows, out=mg, mode="clip")
+            np.take(vflat, rows, out=vg, mode="clip")
+            np.take(dflat, rows, out=dg, mode="clip")
+            m32 = mg.view(np.float32).reshape(vals.shape)
+            v32 = vg.view(np.float32).reshape(vals.shape)
+            d32 = dg.view(np.float32).reshape(vals.shape)
+        else:
+            mg = vg = dg = None
+            m32 = arena_buffer(arena, "adam/sp_m32", vals.shape, np.float32)
+            v32 = arena_buffer(arena, "adam/sp_v32", vals.shape, np.float32)
+            d32 = arena_buffer(arena, "adam/sp_d32", vals.shape, np.float32)
+            np.take(m, rows, axis=0, out=m32, mode="clip")
+            np.take(v, rows, axis=0, out=v32, mode="clip")
+            np.take(param.data, rows, axis=0, out=d32, mode="clip")
+        if self.weight_decay > 0.0:
+            vals = vals + self.weight_decay * d32
+        # Moments, float32 in place on the gathered rows:
+        #   m <- beta1**k * m + (1 - beta1) * g
+        #   v <- beta2**k * v + (1 - beta2) * g^2
+        tail = vals.ndim
+        g1 = arena_buffer(arena, "adam/sp_g1", vals.shape, np.float32)
+        np.multiply(1.0 - self.beta1, vals, out=g1)
+        g2 = arena_buffer(arena, "adam/sp_g2", vals.shape, np.float32)
+        np.multiply(vals, vals, out=g2)
+        g2 *= 1.0 - self.beta2
+        if mg is not None:
+            # Complex in-place forms: a real factor scales both features of
+            # a row (value-identical to the per-feature multiply), and the
+            # complex add is the elementwise add — every pass contiguous,
+            # no broadcast column.
+            mg *= c1
+            mg += g1.view(np.complex64).reshape(-1)
+            vg *= c2
+            vg += g2.view(np.complex64).reshape(-1)
+        else:
+            m32 *= _broadcast_tail(c1, tail)
+            m32 += g1
+            v32 *= _broadcast_tail(c2, tail)
+            v32 += g2
+        # Parameter update (g1/g2 reused as scratch, scalars folded):
+        #   param -= (lr / bias1) * m / (sqrt(v * (1 / bias2)) + eps)
+        np.multiply(self.lr / bias1, m32, out=g1)
+        np.multiply(1.0 / bias2, v32, out=g2)
+        np.sqrt(g2, out=g2)
+        g2 += self.eps
+        g1 /= g2
+        d32 -= g1
+        # Scatter moments and parameter back (touched rows only).
+        if mg is not None:
+            mflat[rows] = mg
+            vflat[rows] = vg
+            dflat[rows] = dg
+        else:
+            m[rows] = m32
+            v[rows] = v32
+            param.data[rows] = d32
+
+    def _flush_lazy(self) -> None:
+        """Apply all deferred moment decay (every row up to the current step)."""
+        for index, last in self._last_step.items():
+            stale = np.flatnonzero(last < self._step_count)
+            if stale.size == 0:
+                continue
+            k = self._step_count - last[stale]
+            m, v = self._m[index], self._v[index]
+            m[stale] *= _broadcast_tail(_pow_by_exponent(self.beta1, k), m.ndim)
+            v[stale] *= _broadcast_tail(_pow_by_exponent(self.beta2, k), v.ndim)
+            last[stale] = self._step_count
+
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
@@ -167,8 +468,12 @@ class Adam:
 
         The step count drives the bias-correction terms, so omitting it
         would change every post-resume update; moments are float32 arrays
-        and round-trip exactly.
+        and round-trip exactly.  Deferred lazy decay is **flushed first**
+        (rebasing the live optimiser too), so the serialised moments are
+        canonical and no per-row counters need to be stored — see the
+        module docstring.
         """
+        self._flush_lazy()
         return {
             "step_count": int(self._step_count),
             "m": _dump_indexed_state(self._m),
@@ -183,3 +488,5 @@ class Adam:
         _load_indexed_state(self._m, state["m"], self.parameters, "m")
         _load_indexed_state(self._v, state["v"], self.parameters, "v")
         self._step_count = step_count
+        _rebuild_last_step(self._last_step, self._m, self.parameters,
+                           step_count)

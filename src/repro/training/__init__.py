@@ -14,6 +14,8 @@
 
 from repro.training.profiler import (
     PipelineStep,
+    PhaseTimer,
+    TrainPhase,
     StepWorkload,
     IterationWorkload,
     WorkloadScale,
@@ -26,6 +28,8 @@ from repro.training.fleet import FleetResult, SceneFleet, train_fleet
 
 __all__ = [
     "PipelineStep",
+    "PhaseTimer",
+    "TrainPhase",
     "StepWorkload",
     "IterationWorkload",
     "WorkloadScale",

@@ -25,6 +25,8 @@ Pipeline steps follow the paper's numbering:
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -33,6 +35,81 @@ from repro.grid.hash_encoding import FEATURE_BYTES, HashGridConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nerf.occupancy import OccupancyGrid
+
+
+# ---------------------------------------------------------------------------
+# Measured per-phase wall time (complements the static counts below).
+# ---------------------------------------------------------------------------
+
+class TrainPhase:
+    """Symbolic names of the measured training-step phases.
+
+    ``BACKWARD_SCATTER`` covers the gradient path from the renderer's
+    per-sample gradients down to the parameter gradients (the hash-table
+    scatter included); ``OPTIMIZER_STEP`` the Adam/SGD updates.  Splitting
+    the two is what lets the throughput benchmark attribute the
+    sparse-update win to the phase it lands in.
+    """
+
+    FORWARD = "forward"
+    LOSS = "loss"
+    BACKWARD_SCATTER = "backward_scatter"
+    OPTIMIZER_STEP = "optimizer_step"
+    ORDER = (FORWARD, LOSS, BACKWARD_SCATTER, OPTIMIZER_STEP)
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timer for the training-step phases.
+
+    Attach one to a :class:`~repro.training.trainer.Trainer` via its
+    ``profiler`` attribute and every ``train_step`` splits its wall time
+    into the :class:`TrainPhase` buckets; ``seconds``/``calls`` accumulate
+    until :meth:`reset`.  Overhead is two ``perf_counter`` calls per phase,
+    and a detached trainer (``profiler=None``) pays a single attribute
+    check, so the hot loop is unaffected by default.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager accumulating the enclosed block's wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def mean_ms(self, name: str) -> float:
+        """Mean milliseconds per call of ``name`` (0.0 if never recorded)."""
+        calls = self.calls.get(name, 0)
+        if not calls:
+            return 0.0
+        return 1e3 * self.seconds[name] / calls
+
+    def total_seconds(self) -> float:
+        return float(sum(self.seconds.values()))
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{seconds, calls, mean_ms}`` (JSON-able, in phase order)."""
+        names = [p for p in TrainPhase.ORDER if p in self.seconds]
+        names += [p for p in self.seconds if p not in names]
+        return {
+            name: {
+                "seconds": self.seconds[name],
+                "calls": self.calls[name],
+                "mean_ms": self.mean_ms(name),
+            }
+            for name in names
+        }
 
 
 class PipelineStep:

@@ -20,6 +20,7 @@ to the pre-pipeline trainer for differential testing.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -35,8 +36,12 @@ from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.pipeline import RenderPipeline
 from repro.nn.optim import Adam
 from repro.training.metrics import EvaluationResult, evaluate_model
+from repro.training.profiler import PhaseTimer, TrainPhase
 from repro.utils.seeding import derive_rng, derive_seed, get_rng_state, set_rng_state
 from repro.utils.workspace import WorkspaceArena
+
+#: Shared reusable no-op context for the detached-profiler fast path.
+_NULL_PHASE = nullcontext()
 
 
 @dataclass
@@ -201,6 +206,10 @@ class Trainer:
         self.density_updates = 0
         self.color_updates = 0
         self.occupancy_refresh_points = 0
+        #: Optional :class:`~repro.training.profiler.PhaseTimer` splitting
+        #: every step's wall time into forward / loss / backward-scatter /
+        #: optimiser-step phases (``None`` = no timing overhead).
+        self.profiler: Optional[PhaseTimer] = None
 
     # -- occupancy maintenance -------------------------------------------------
     def _refresh_occupancy(self) -> None:
@@ -234,9 +243,20 @@ class Trainer:
         bit-identical iterations to a run that was never interrupted —
         checkpoints must be taken *between* ``train_step`` calls (forward
         caches are transient and deliberately not captured).
+
+        Under ``sparse_updates=True`` the optimisers' deferred lazy-moment
+        decay is *flushed* as part of the snapshot (see
+        :mod:`repro.nn.optim`), which rebases the live optimisers too: the
+        saving run's own continuation and a load-and-continue run remain
+        bit-identical to **each other** (flushing is deterministic, so any
+        two runs that snapshot at the same iterations agree exactly); a run
+        that never snapshots can differ from a snapshotting one in the last
+        ulp of the deferred-decay factorisation.  Dense-mode snapshots are
+        side-effect free, exactly as before.
         """
         state: Dict[str, Any] = {
             "compute_dtype": self.config.compute_dtype,
+            "sparse_updates": bool(self.config.sparse_updates),
             "iteration": int(self.iteration),
             "density_updates": int(self.density_updates),
             "color_updates": int(self.color_updates),
@@ -267,6 +287,15 @@ class Trainer:
                 f"{stored_dtype!r} but this trainer uses "
                 f"{self.config.compute_dtype!r}; resume is only bit-exact "
                 f"within one precision policy")
+        # Pre-sparse checkpoints carry no flag and were all dense-trained.
+        stored_sparse = bool(state.get("sparse_updates", False))
+        if stored_sparse != self.config.sparse_updates:
+            raise ValueError(
+                f"checkpoint was trained with sparse_updates={stored_sparse} "
+                f"but this trainer uses "
+                f"sparse_updates={self.config.sparse_updates}; the two modes' "
+                f"update semantics differ, so resume would not continue the "
+                f"same trajectory")
         if (state["occupancy"] is None) != (self.occupancy is None):
             raise ValueError(
                 "checkpoint culling state does not match this trainer's "
@@ -289,6 +318,12 @@ class Trainer:
             history.load_state_dict(state["history"])
 
     # -- one iteration ---------------------------------------------------------
+    def _phase(self, name: str):
+        """Profiler section for ``name`` (a shared no-op when detached)."""
+        if self.profiler is None:
+            return _NULL_PHASE
+        return self.profiler.phase(name)
+
     def train_step(self) -> Dict[str, float]:
         """Run one full training iteration and return its scalar metrics."""
         config = self.config
@@ -296,18 +331,20 @@ class Trainer:
         if self.occupancy is not None:
             self._refresh_occupancy()
 
-        # ❶ — pixel batch.
-        bundle, targets = sample_pixel_batch(
-            self.dataset.train_cameras, self.dataset.train_images,
-            config.batch_pixels, self._pixel_rng,
-        )
+        with self._phase(TrainPhase.FORWARD):
+            # ❶ — pixel batch.
+            bundle, targets = sample_pixel_batch(
+                self.dataset.train_cameras, self.dataset.train_images,
+                config.batch_pixels, self._pixel_rng,
+            )
 
-        # ❷ / ❸ / ❹ — sampling, (culled) field query and volume rendering.
-        out = self.pipeline.render_rays(bundle, rng=self._sample_rng)
+            # ❷ / ❸ / ❹ — sampling, (culled) field query and volume rendering.
+            out = self.pipeline.render_rays(bundle, rng=self._sample_rng)
 
-        # ❺ — loss.
-        loss, grad_colors = mse_loss(out.render.colors, targets,
-                                     dtype=self.policy.dtype)
+        with self._phase(TrainPhase.LOSS):
+            # ❺ — loss.
+            loss, grad_colors = mse_loss(out.render.colors, targets,
+                                         dtype=self.policy.dtype)
 
         # ❻ — back-propagation with per-branch update schedule, touching only
         # the samples that were queried.  A batch whose samples were all
@@ -315,20 +352,32 @@ class Trainer:
         self.model.zero_grad()
         update_density = update_density and out.n_queried > 0
         update_color = update_color and out.n_queried > 0
+        rows_touched = 0
         if out.n_queried > 0:
-            grad_sigmas, grad_rgbs = self.pipeline.backward_to_points(grad_colors)
-            self.model.backward(
-                grad_sigmas,
-                grad_rgbs,
-                update_density=update_density,
-                update_color=update_color,
-            )
-            if update_density:
-                self.density_optimizer.step()
-                self.density_updates += 1
-            if update_color:
-                self.color_optimizer.step()
-                self.color_updates += 1
+            with self._phase(TrainPhase.BACKWARD_SCATTER):
+                grad_sigmas, grad_rgbs = self.pipeline.backward_to_points(
+                    grad_colors)
+                self.model.backward(
+                    grad_sigmas,
+                    grad_rgbs,
+                    update_density=update_density,
+                    update_color=update_color,
+                )
+            # Unique hash-table rows carrying a gradient this step (the
+            # software analogue of the entries the paper's BUM unit writes
+            # back); stale branch counts are excluded via the update flags.
+            encoder = self.model.encoder
+            if update_density and encoder.density_grid.last_touched_rows is not None:
+                rows_touched += encoder.density_grid.last_touched_rows
+            if update_color and encoder.color_grid.last_touched_rows is not None:
+                rows_touched += encoder.color_grid.last_touched_rows
+            with self._phase(TrainPhase.OPTIMIZER_STEP):
+                if update_density:
+                    self.density_optimizer.step()
+                    self.density_updates += 1
+                if update_color:
+                    self.color_optimizer.step()
+                    self.color_updates += 1
 
         self.iteration += 1
         return {
@@ -340,6 +389,7 @@ class Trainer:
             "queries_total": float(out.n_total),
             "queries_kept": float(out.n_queried),
             "occupancy_fraction": float(out.occupancy_fraction),
+            "grid_rows_touched": float(rows_touched),
         }
 
     # -- full run ---------------------------------------------------------------

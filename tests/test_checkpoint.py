@@ -99,6 +99,19 @@ class TestCheckpointFile:
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
 
+    def test_version_1_files_rejected_with_clear_error(self, tmp_path):
+        # Version-1 checkpoints predate the master-table grid layout (one
+        # Parameter per level), so their optimiser state cannot be mapped
+        # onto today's parameters; the version gate must say so up front
+        # instead of failing deep inside the moment-shape validation.
+        import json
+        manifest = {"format": "repro-checkpoint", "version": 1,
+                    "kind": "state", "metadata": {}, "payload": {"x": 1}}
+        path = tmp_path / "old.npz"
+        np.savez(path, __manifest__=np.array(json.dumps(manifest)))
+        with pytest.raises(CheckpointError, match="version 1"):
+            load_checkpoint(path)
+
     def test_unsupported_payloads_rejected(self, tmp_path):
         with pytest.raises(CheckpointError):
             save_checkpoint(tmp_path / "bad.npz", {"f": lambda: None})

@@ -183,9 +183,9 @@ class TestMultiResHashGrid:
 
         def loss_for_table(t):
             saved = table.data.copy()
-            table.data = t.astype(np.float32)
+            table.data[...] = t.astype(np.float32)
             out = grid.forward(points)
-            table.data = saved
+            table.data[...] = saved
             return float(np.sum(out ** 2))
 
         out = grid.forward(points)
@@ -331,9 +331,9 @@ class TestFusedEngine:
 
         def loss_for_table(t):
             saved = table.data.copy()
-            table.data = t.astype(np.float32)
+            table.data[...] = t.astype(np.float32)
             out = grid.forward(points)
-            table.data = saved
+            table.data[...] = saved
             return float(np.sum(out ** 2))
 
         out = grid.forward(points)
