@@ -1,0 +1,58 @@
+"""Pluggable array backends for the Instant-3D training stack.
+
+See :mod:`repro.backend.base` for the protocol and ``docs/backend.md`` for
+the seam inventory, the bit-exactness contract, and third-party
+registration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.backend.fused import NumpyFusedBackend
+from repro.backend.numba_backend import NUMBA_AVAILABLE, NumbaBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    BackendLike,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "NumpyFusedBackend",
+    "NumbaBackend",
+    "NUMBA_AVAILABLE",
+    "BackendLike",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "default_backend_name",
+    "materialize",
+]
+
+register_backend("numpy", NumpyBackend)
+register_backend("numpy_fused", NumpyFusedBackend)
+if NUMBA_AVAILABLE and NumbaBackend is not None:
+    register_backend("numba", NumbaBackend)
+
+
+def materialize(node):
+    """Convert a backend-native array leaf to a host ``numpy.ndarray``.
+
+    Non-array values pass through untouched.  Checkpoint serialisation runs
+    every leaf through this so saved files stay portable across backends.
+    """
+    if isinstance(node, np.ndarray):
+        return node
+    for name in available_backends():
+        backend = get_backend(name)
+        if backend.is_native(node):
+            return backend.to_numpy(node)
+    return node

@@ -1,0 +1,202 @@
+"""The ``ArrayBackend`` protocol: the narrow seam under every hot kernel.
+
+The paper's thesis is algorithm–hardware co-design: one hash-grid training
+algorithm mapped onto different execution substrates (grid cores, MLP units,
+the backward-update-merging unit).  The Python stack mirrors that with a
+single **backend seam**: every hot-path kernel — gather, scatter-add,
+segment-sum, matmul, flat takes, compaction, RNG draws, arena allocation —
+runs through an :class:`ArrayBackend` instance instead of calling ``np.*``
+directly, so an alternative array library (numba-JITted kernels, torch, an
+MLX-style port) can slot in without forking the algorithm code.
+
+The protocol deliberately stays *narrow*: the ~12 primitives below are the
+complete set the grid engine, MLP stack, renderer and optimiser actually
+dispatch on.  Elementwise arithmetic (``np.multiply(..., out=...)`` and
+friends) intentionally stays outside the seam — backend arrays are expected
+to implement the numpy ufunc protocol (numpy's own arrays and numba host
+arrays do natively), and ``docs/backend.md`` inventories every such call
+left on a hot path.
+
+Bit-exactness contract
+----------------------
+The float64 :class:`~repro.backend.numpy_backend.NumpyBackend` path is the
+**bit-exact reference**: its primitives are definitionally the numpy calls
+the pre-backend implementation inlined, so every frozen trace and
+differential oracle anchors to it.  Any other backend is *differentially
+pinned* against it — the in-repo
+:class:`~repro.backend.fused.NumpyFusedBackend` bit-identically (its
+batched kernels reproduce the reference arithmetic exactly, so the whole
+tier-1 suite passes under it), optional JIT backends to whatever tolerance
+their registration documents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.workspace import WorkspaceArena
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend:
+    """Abstract compute backend: allocation, gather/scatter, reductions, RNG.
+
+    Subclasses implement (or inherit numpy-delegating versions of) the
+    primitives below.  All ``out=`` parameters follow numpy semantics: when
+    given, the result is written in place and the same array is returned.
+
+    Attributes
+    ----------
+    name:
+        Registry key of the backend (``Instant3DConfig(backend=name)``).
+    deterministic:
+        True when the backend's primitives are bit-reproducible run-to-run
+        (required for the checkpoint/resume differential guarantees).
+    """
+
+    name: str = "abstract"
+    deterministic: bool = True
+
+    # -- allocation hooks ---------------------------------------------------
+    def empty(self, shape, dtype) -> np.ndarray:
+        """Uninitialised array on this backend's device/dtype domain."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        """Zero-initialised array on this backend."""
+        raise NotImplementedError
+
+    def asarray(self, x, dtype=None) -> np.ndarray:
+        """Convert ``x`` to a backend array (no copy when already native)."""
+        raise NotImplementedError
+
+    def make_arena(self) -> WorkspaceArena:
+        """A :class:`WorkspaceArena` whose backing buffers this backend owns.
+
+        The trainer calls this instead of constructing an arena directly, so
+        every reusable per-iteration buffer lives on the backend's
+        device/dtype domain.
+        """
+        return WorkspaceArena(allocator=self)
+
+    # -- gather / scatter ---------------------------------------------------
+    def gather(self, table: np.ndarray, rows: np.ndarray,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Row gather ``table[rows]`` along axis 0 (indices are in range)."""
+        raise NotImplementedError
+
+    def take_out(self, flat: np.ndarray, indices: np.ndarray,
+                 out: np.ndarray) -> np.ndarray:
+        """Flat gather ``flat[indices]`` into a preallocated ``out``."""
+        raise NotImplementedError
+
+    def scatter_add(self, target: np.ndarray, rows: np.ndarray,
+                    values: np.ndarray, unique: bool = False) -> None:
+        """``target[rows] += values`` with duplicate-index accumulation.
+
+        ``unique=True`` promises the caller deduplicated ``rows``, letting
+        backends use a plain (non-atomic) indexed add.
+        """
+        raise NotImplementedError
+
+    def scatter_rows(self, target: np.ndarray, rows: np.ndarray,
+                     values: np.ndarray) -> None:
+        """Assignment scatter ``target[rows] = values`` (last write wins)."""
+        raise NotImplementedError
+
+    # -- reductions ---------------------------------------------------------
+    def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray,
+                    num_segments: int) -> np.ndarray:
+        """Per-segment float64 sums of ``values`` grouped by ``segment_ids``.
+
+        Duplicate segments accumulate **in scan order** — the ordering the
+        bit-exactness contract of the grid backward relies on.
+        """
+        raise NotImplementedError
+
+    def bincount_add(self, acc: np.ndarray, indices: np.ndarray,
+                     weights: np.ndarray, minlength: int) -> None:
+        """``acc += segment_sum(weights, indices, minlength)`` in place.
+
+        The accumulation into ``acc`` adds the *completed* per-segment sums
+        (never individual contributions), matching the reference
+        ``acc += np.bincount(...)`` association exactly.
+        """
+        raise NotImplementedError
+
+    # -- linear algebra -----------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def einsum(self, spec: str, *operands,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- ordering / compaction ----------------------------------------------
+    def argsort(self, x: np.ndarray) -> np.ndarray:
+        """Stable-result sort permutation of a 1-D array."""
+        raise NotImplementedError
+
+    def cumsum(self, x: np.ndarray, axis: Optional[int] = None,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def flatnonzero(self, x: np.ndarray) -> np.ndarray:
+        """Sorted indices of the non-zero (True) entries of ``x.ravel()``."""
+        raise NotImplementedError
+
+    # -- RNG-stream draw ----------------------------------------------------
+    def draw_uniform(self, rng, out: np.ndarray) -> np.ndarray:
+        """Fill float64 ``out`` with uniform [0, 1) draws from ``rng``.
+
+        Must consume the generator stream exactly as
+        ``rng.uniform(0, 1, out.shape)`` would, so precision policies and
+        backends share RNG streams (the bit-exactness contract's "runs
+        differ only by arithmetic" rule).
+        """
+        raise NotImplementedError
+
+    # -- capability queries --------------------------------------------------
+    def is_native(self, x) -> bool:
+        """True when ``x`` is an array this backend operates on natively."""
+        raise NotImplementedError
+
+    def is_native_f32(self, x) -> bool:
+        """True when ``x`` is a native float32 array (no conversion needed).
+
+        The layers use this instead of ``isinstance(x, np.ndarray)`` dtype
+        checks, so a non-numpy backend cannot silently fall through to a
+        converting (dense numpy) path.
+        """
+        raise NotImplementedError
+
+    def flat_pair_view(self, arr: np.ndarray) -> Optional[np.ndarray]:
+        """One-element-per-row flat view of a contiguous ``(T, 2)`` float32
+        array (complex64 on numpy-family backends), or ``None`` when the
+        layout/capability doesn't allow it.
+
+        Row gathers/scatters through this view run as single flat takes —
+        the fast path of both the fused grid gather and the lazy optimiser.
+        Callers must handle ``None`` (capability query, not an assumption).
+        """
+        raise NotImplementedError
+
+    # -- host transfer ------------------------------------------------------
+    def to_numpy(self, x) -> np.ndarray:
+        """Materialise a backend array as a host ``numpy.ndarray``.
+
+        Checkpoints call this on every array leaf so files stay portable
+        across backends.
+        """
+        raise NotImplementedError
+
+    def from_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Import a host array into the backend's native representation."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

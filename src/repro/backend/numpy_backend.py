@@ -1,0 +1,124 @@
+"""``NumpyBackend`` — the bit-exact float64 reference implementation.
+
+Every primitive here is *definitionally* the numpy call the pre-backend
+stack inlined at the corresponding call site, so running under this backend
+(the default) reproduces the seed's training traces byte-for-byte.  All
+other backends are differentially pinned against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Plain-numpy reference backend (the bit-exactness anchor)."""
+
+    name = "numpy"
+    deterministic = True
+
+    # -- allocation hooks ---------------------------------------------------
+    def empty(self, shape, dtype) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def asarray(self, x, dtype=None) -> np.ndarray:
+        return np.asarray(x, dtype=dtype)
+
+    # -- gather / scatter ---------------------------------------------------
+    def gather(self, table: np.ndarray, rows: np.ndarray,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        # mode="clip" skips numpy's per-element bounds check; callers
+        # guarantee in-range indices (hash addresses are masked/modded).
+        return np.take(table, rows, axis=0, out=out, mode="clip")
+
+    def take_out(self, flat: np.ndarray, indices: np.ndarray,
+                 out: np.ndarray) -> np.ndarray:
+        return np.take(flat, indices, out=out, mode="clip")
+
+    def scatter_add(self, target: np.ndarray, rows: np.ndarray,
+                    values: np.ndarray, unique: bool = False) -> None:
+        if unique:
+            target[rows] += values
+        else:
+            np.add.at(target, rows, values)
+
+    def scatter_rows(self, target: np.ndarray, rows: np.ndarray,
+                     values: np.ndarray) -> None:
+        target[rows] = values
+
+    # -- reductions ---------------------------------------------------------
+    def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray,
+                    num_segments: int) -> np.ndarray:
+        return np.bincount(segment_ids, weights=values,
+                           minlength=num_segments)
+
+    def bincount_add(self, acc: np.ndarray, indices: np.ndarray,
+                     weights: np.ndarray, minlength: int) -> None:
+        acc += np.bincount(indices, weights=weights, minlength=minlength)
+
+    # -- linear algebra -----------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is None:
+            return np.matmul(a, b)
+        return np.matmul(a, b, out=out)
+
+    def einsum(self, spec: str, *operands,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is None:
+            return np.einsum(spec, *operands)
+        return np.einsum(spec, *operands, out=out)
+
+    # -- ordering / compaction ----------------------------------------------
+    def argsort(self, x: np.ndarray) -> np.ndarray:
+        return np.argsort(x)
+
+    def cumsum(self, x: np.ndarray, axis: Optional[int] = None,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        return np.cumsum(x, axis=axis, out=out)
+
+    def flatnonzero(self, x: np.ndarray) -> np.ndarray:
+        return np.flatnonzero(x)
+
+    # -- RNG-stream draw ----------------------------------------------------
+    def draw_uniform(self, rng, out: np.ndarray) -> np.ndarray:
+        try:
+            # Modern Generator API: fill in place, no temporary.
+            rng.random(out=out)
+        except (AttributeError, TypeError):
+            # Legacy RandomState / duck-typed generators: same stream
+            # semantics, one temporary.
+            out[...] = rng.uniform(0.0, 1.0, out.shape)
+        return out
+
+    # -- capability queries --------------------------------------------------
+    def is_native(self, x) -> bool:
+        return isinstance(x, np.ndarray)
+
+    def is_native_f32(self, x) -> bool:
+        return isinstance(x, np.ndarray) and x.dtype == np.float32
+
+    def flat_pair_view(self, arr: np.ndarray) -> Optional[np.ndarray]:
+        if (isinstance(arr, np.ndarray) and arr.ndim == 2
+                and arr.shape[1] == 2 and arr.dtype == np.float32
+                and arr.flags.c_contiguous):
+            # One complex64 element per (f0, f1) row: row gathers/scatters
+            # through this view move both features in a single flat take.
+            return arr.view(np.complex64).reshape(-1)
+        return None
+
+    # -- host transfer ------------------------------------------------------
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def from_numpy(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)

@@ -1,0 +1,98 @@
+"""Backend registry: name → factory, with lazily cached singleton instances.
+
+Third-party backends register with :func:`register_backend` before
+constructing configs; ``Instant3DConfig(backend=...)`` then selects them
+end-to-end (trainer, grids, MLPs, renderer, optimisers, checkpoints).
+
+The default backend is ``"numpy"`` unless the ``REPRO_BACKEND`` environment
+variable names another registered backend — this is how the CI backend
+matrix runs the entire tier-1 suite under each backend without touching
+test code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.backend.base import ArrayBackend
+
+__all__ = [
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "default_backend_name",
+    "BackendLike",
+]
+
+#: Environment variable selecting the default backend for the process.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+BackendLike = Optional[Union[str, ArrayBackend]]
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend],
+                     overwrite: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is called at most once (instances are cached).  Registering
+    an existing name raises unless ``overwrite=True``, so a typo cannot
+    silently shadow the reference backend.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty str, got {name!r}")
+    if name in _FACTORIES and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered "
+            f"(pass overwrite=True to replace it)")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, reference backend first."""
+    names = sorted(_FACTORIES)
+    if "numpy" in names:
+        names.remove("numpy")
+        names.insert(0, "numpy")
+    return tuple(names)
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """The cached singleton instance of backend ``name``."""
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown backend {name!r}; registered backends: "
+                f"{', '.join(available_backends())}")
+        instance = factory()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def default_backend_name() -> str:
+    """Process-default backend name (``REPRO_BACKEND`` env var or numpy)."""
+    return os.environ.get(BACKEND_ENV_VAR, "numpy")
+
+
+def resolve_backend(backend: BackendLike) -> ArrayBackend:
+    """Normalise ``None`` / name / instance into an :class:`ArrayBackend`.
+
+    ``None`` resolves to the process default, so components constructed
+    without an explicit backend follow ``REPRO_BACKEND`` — and, with the
+    variable unset, keep the pre-backend numpy numerics bit-exactly.
+    """
+    if backend is None:
+        return get_backend(default_backend_name())
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise TypeError(
+        f"backend must be None, a name, or an ArrayBackend, got {backend!r}")

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.backend import (ArrayBackend, available_backends,
+                           default_backend_name, get_backend)
 from repro.grid.hash_encoding import HashGridConfig
 from repro.utils.precision import PRECISION_NAMES, PrecisionPolicy, resolve_policy
 
@@ -143,12 +145,25 @@ class Instant3DConfig:
     #: the identical lazy arithmetic.  Bit-identical to the COO path at
     #: dense cost; exists for differential testing.
     sparse_oracle: bool = False
+    #: Name of the registered :class:`~repro.backend.ArrayBackend` executing
+    #: every hot-path array primitive — grid gathers/scatters, MLP matmuls,
+    #: renderer reductions, optimiser updates.  Defaults to the process
+    #: default (the ``REPRO_BACKEND`` environment variable, else
+    #: ``"numpy"``, the bit-exact float64-capable reference).  The in-repo
+    #: ``"numpy_fused"`` backend batches the gather/scatter primitives and
+    #: is bit-identical to the reference; ``"numba"`` registers only when
+    #: numba is importable.
+    backend: str = field(default_factory=default_backend_name)
 
     def __post_init__(self) -> None:
         if self.compute_dtype not in PRECISION_NAMES:
             raise ValueError(
                 f"compute_dtype must be one of {PRECISION_NAMES}, "
                 f"got {self.compute_dtype!r}")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, "
+                f"got {self.backend!r}")
         if self.max_chunk_points is not None and self.max_chunk_points < 1:
             raise ValueError("max_chunk_points must be >= 1 or None")
         if self.sparse_oracle and not self.sparse_updates:
@@ -275,6 +290,12 @@ class Instant3DConfig:
     def precision_policy(self) -> PrecisionPolicy:
         """The :class:`~repro.utils.precision.PrecisionPolicy` of this config."""
         return resolve_policy(self.compute_dtype)
+
+    # -- backend -----------------------------------------------------------------
+    @property
+    def array_backend(self) -> ArrayBackend:
+        """The resolved :class:`~repro.backend.ArrayBackend` instance."""
+        return get_backend(self.backend)
 
     # -- sparsity ----------------------------------------------------------------
     @property

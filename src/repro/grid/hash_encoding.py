@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.backend.registry import BackendLike, resolve_backend
 from repro.grid.hash_function import _MASK32, PI1, PI2, PI3, dense_index, spatial_hash
 from repro.grid.interpolation import (
     CORNER_OFFSETS,
@@ -232,18 +233,21 @@ class HashGridLevel:
     """A single resolution level of the multiresolution hash grid."""
 
     def __init__(self, resolution: int, max_entries: int, n_features: int,
-                 rng: np.random.Generator, name: str = "level"):
+                 rng: np.random.Generator, name: str = "level",
+                 backend: BackendLike = None):
         if resolution < 1:
             raise ValueError("resolution must be >= 1")
         self.resolution = int(resolution)
         self.n_features = int(n_features)
+        self.backend = resolve_backend(backend)
         n_vertices = (self.resolution + 1) ** 3
         # Coarse levels that fit in the table are stored densely
         # (collision-free); finer levels fall back to the spatial hash.
         self.is_dense = n_vertices <= max_entries
         self.table_size = n_vertices if self.is_dense else int(max_entries)
         init = rng.uniform(-1e-4, 1e-4, size=(self.table_size, self.n_features))
-        self.table = Parameter(init, name=f"{name}.table")
+        self.table = Parameter(init, name=f"{name}.table",
+                               backend=self.backend)
 
     # -- indexing -----------------------------------------------------------
     def vertex_addresses(self, vertex_coords: np.ndarray) -> np.ndarray:
@@ -272,19 +276,22 @@ class HashGridLevel:
         corners = base[:, None, :] + CORNER_OFFSETS[None, :, :]   # (N, 8, 3)
         addresses = self.vertex_addresses(corners)                # (N, 8)
         weights = trilinear_weights(frac, dtype=dtype)            # (N, 8)
-        corner_values = self.table.data[addresses]                # (N, 8, F)
-        embeddings = interpolate(corner_values, weights, dtype=dtype)
+        corner_values = self.backend.gather(self.table.data,
+                                            addresses)            # (N, 8, F)
+        embeddings = interpolate(corner_values, weights, dtype=dtype,
+                                 backend=self.backend)
         return embeddings.astype(np.float32), addresses, weights
 
     def backward(self, grad_embeddings: np.ndarray, addresses: np.ndarray,
                  weights: np.ndarray, dtype=np.float64) -> None:
         """Scatter-add the embedding gradient into the table gradient."""
         corner_grads = interpolate_backward(grad_embeddings, weights,
-                                            dtype=dtype)          # (N, 8, F)
+                                            dtype=dtype,
+                                            backend=self.backend)  # (N, 8, F)
         flat_addr = addresses.reshape(-1)
         flat_grads = corner_grads.reshape(-1, self.n_features)
-        grad_table = np.zeros_like(self.table.grad, dtype=np.float64)
-        np.add.at(grad_table, flat_addr, flat_grads)
+        grad_table = self.backend.zeros(self.table.grad.shape, np.float64)
+        self.backend.scatter_add(grad_table, flat_addr, flat_grads)
         self.table.accumulate_grad(grad_table.astype(np.float32))
 
     # -- bookkeeping ---------------------------------------------------------
@@ -363,6 +370,12 @@ class MultiResHashGrid:
         differentially tested against.  In ``"coo"`` mode the emitted
         arrays live in the arena (valid for one optimiser step) and the
         dense ``grad`` table is never written nor cleared.
+    backend:
+        :class:`~repro.backend.base.ArrayBackend` (or registered name)
+        executing every gather/scatter/segment-sum/compaction primitive of
+        both engines.  ``None`` resolves to the process default (the
+        bit-exact numpy reference unless ``REPRO_BACKEND`` selects
+        another).
     """
 
     def __init__(self, config: HashGridConfig, rng: np.random.Generator,
@@ -370,7 +383,8 @@ class MultiResHashGrid:
                  max_chunk_points: Optional[int] = None,
                  policy: Optional[PrecisionPolicy] = None,
                  arena: Optional[WorkspaceArena] = None,
-                 sparse_mode: Optional[str] = None):
+                 sparse_mode: Optional[str] = None,
+                 backend: BackendLike = None):
         if max_chunk_points is not None and max_chunk_points < 1:
             raise ValueError("max_chunk_points must be >= 1 or None")
         # sparse_mode is validated by set_sparse_mode (called below).
@@ -380,6 +394,7 @@ class MultiResHashGrid:
         self.max_chunk_points = max_chunk_points
         self.policy = resolve_policy(policy)
         self.arena = arena
+        self.backend = resolve_backend(backend)
         self.levels: List[HashGridLevel] = []
         for level_idx in range(config.n_levels):
             self.levels.append(
@@ -389,6 +404,7 @@ class MultiResHashGrid:
                     n_features=config.n_features_per_level,
                     rng=rng,
                     name=f"{name}.level{level_idx}",
+                    backend=self.backend,
                 )
             )
         # Per-level constants of the fused engine, precomputed as arrays so a
@@ -427,7 +443,8 @@ class MultiResHashGrid:
         # working through the views.
         backing = np.concatenate([level.table.data for level in self.levels],
                                  axis=0)
-        self.table = Parameter(backing, name=f"{name}.tables")
+        self.table = Parameter(backing, name=f"{name}.tables",
+                               backend=self.backend)
         offset = 0
         for level in self.levels:
             level.table.data = self.table.data[offset:offset + level.table_size]
@@ -502,9 +519,16 @@ class MultiResHashGrid:
         """Attach (or detach) a workspace arena for query-plane reuse."""
         self.arena = arena
 
+    def set_backend(self, backend: BackendLike) -> None:
+        """Re-point both engines (and every level) at another backend."""
+        self.backend = resolve_backend(backend)
+        for level in self.levels:
+            level.backend = self.backend
+
     def _buf(self, key: str, shape, dtype) -> np.ndarray:
         """Engine scratch buffer, namespaced by this grid's name."""
-        return arena_buffer(self.arena, f"{self.name}/{key}", shape, dtype)
+        return arena_buffer(self.arena, f"{self.name}/{key}", shape, dtype,
+                            backend=self.backend)
 
     # -- fused engine internals ---------------------------------------------
     #
@@ -669,24 +693,24 @@ class MultiResHashGrid:
         for corner, (xy_idx, z_idx) in enumerate(self._CORNER_XY_Z):
             np.multiply(wxy[xy_idx], wzs[z_idx], out=weight_planes[corner])
 
-        if self.config.n_features_per_level == 2:
-            # F == 2 fast path: each table row is one complex64, so a corner
-            # gather is a single flat take and the weighted accumulation runs
-            # on complex planes whose (real, imag) parts are the two
-            # features — complex128 under the float64 reference policy,
-            # complex64 under float32.  Multiplying by a real weight scales
-            # both features with the same compute-dtype products as the
-            # generic path.
-            flat = table.view(np.complex64).ravel()
+        # F == 2 fast path: each table row is one complex64 (the backend's
+        # flat_pair_view capability), so a corner gather is a single flat
+        # take and the weighted accumulation runs on complex planes whose
+        # (real, imag) parts are the two features — complex128 under the
+        # float64 reference policy, complex64 under float32.  Multiplying
+        # by a real weight scales both features with the same compute-dtype
+        # products as the generic path.
+        flat = (self.backend.flat_pair_view(table)
+                if self.config.n_features_per_level == 2 else None)
+        if flat is not None:
             cdt = self.policy.complex_dtype
             acc = self._buf("q/acc", (n_levels, n), cdt)
             tmp = self._buf("q/tmp", (n_levels, n), cdt)
             gathered = self._buf("q/gathered", (n_levels, n), np.complex64)
             for corner in range(8):
-                # mode="clip" skips per-element bounds checks; addresses
-                # are in range by construction (hash mod / dense index +
-                # offset).
-                np.take(flat, addr_planes[corner], out=gathered, mode="clip")
+                # Addresses are in range by construction (hash mod / dense
+                # index + offset), so the gather skips bounds checks.
+                self.backend.take_out(flat, addr_planes[corner], gathered)
                 if corner == 0:
                     np.multiply(weight_planes[corner], gathered, out=acc)
                 else:
@@ -702,8 +726,8 @@ class MultiResHashGrid:
             corner_values = self._buf("q/cv", (n_levels, n, f), np.float32)
             tmp = self._buf("q/cvw", (n_levels, n, f), dt)
             for corner in range(8):
-                np.take(table, addr_planes[corner], axis=0, out=corner_values,
-                        mode="clip")
+                self.backend.gather(table, addr_planes[corner],
+                                    out=corner_values)
                 np.multiply(weight_planes[corner][:, :, None], corner_values,
                             out=tmp)
                 acc += tmp
@@ -721,7 +745,7 @@ class MultiResHashGrid:
     # -- forward / backward -------------------------------------------------
     def forward(self, points: np.ndarray) -> np.ndarray:
         """Encode ``(N, 3)`` points in ``[0, 1]^3`` into ``(N, L*F)`` features."""
-        points = np.asarray(points, dtype=self.policy.dtype)
+        points = self.backend.asarray(points, dtype=self.policy.dtype)
         if points.ndim != 2 or points.shape[1] != 3:
             raise ValueError(f"points must have shape (N, 3), got {points.shape}")
         if not self.fused:
@@ -843,18 +867,19 @@ class MultiResHashGrid:
             corner_weight = weight_planes[corner]
             for j in range(f):
                 np.multiply(corner_weight, feature_grads[j], out=contrib)
-                acc[j] += np.bincount(flat_addr, weights=contrib.ravel(),
-                                      minlength=total)
+                self.backend.bincount_add(acc[j], flat_addr, contrib.ravel(),
+                                          total)
         acc = acc.T
-        touched = np.flatnonzero(np.any(acc != 0.0, axis=1))
+        touched = self.backend.flatnonzero(np.any(acc != 0.0, axis=1))
         self.last_touched_rows = int(touched.size)
         self.last_scatter_updates = int(addr_planes.size)
         # Sized at the table bound (not the batch-dependent touched count)
         # so the steady-state arena never regrows it.
         acc_touched = self._buf("bwd/acc_touched", (total, f),
                                 np.float64)[:touched.size]
-        np.take(acc, touched, axis=0, out=acc_touched)
-        self.table.grad[touched] += acc_touched.astype(np.float32)
+        self.backend.gather(acc, touched, out=acc_touched)
+        self.backend.scatter_add(self.table.grad, touched,
+                                 acc_touched.astype(np.float32), unique=True)
 
     def _scatter_sparse(self, addr_planes: np.ndarray,
                         weight_planes: np.ndarray,
@@ -888,20 +913,20 @@ class MultiResHashGrid:
             self.last_scatter_updates = 0
             return
         flat_all = addr_planes.reshape(-1)
-        order = np.argsort(flat_all)
+        order = self.backend.argsort(flat_all)
         sorted_addr = self._buf("bwds/sorted", m, np.int64)
-        np.take(flat_all, order, out=sorted_addr)
+        self.backend.take_out(flat_all, order, sorted_addr)
         flags = self._buf("bwds/flags", m, bool)
         flags[0] = True
         np.not_equal(sorted_addr[1:], sorted_addr[:-1], out=flags[1:])
         rank = self._buf("bwds/rank", m, np.int64)
-        np.cumsum(flags, out=rank)
+        self.backend.cumsum(flags, out=rank)
         rank -= 1                                 # unique-id of each sorted slot
         n_unique = int(rank[-1]) + 1
         unique_addr = self._buf("bwds/unique", n_unique, np.int64)
-        unique_addr[rank] = sorted_addr           # duplicate writes agree
+        self.backend.scatter_rows(unique_addr, rank, sorted_addr)
         inverse = self._buf("bwds/inverse", m, np.int64)
-        inverse[order] = rank
+        self.backend.scatter_rows(inverse, order, rank)
         inv_planes = inverse.reshape(8, n_levels, n)
         acc = self._buf("bwds/acc", (f, n_unique), np.float64)
         acc.fill(0.0)
@@ -911,19 +936,19 @@ class MultiResHashGrid:
             corner_weight = weight_planes[corner]
             for j in range(f):
                 np.multiply(corner_weight, feature_grads[j], out=contrib)
-                acc[j] += np.bincount(inv_flat, weights=contrib.ravel(),
-                                      minlength=n_unique)
+                self.backend.bincount_add(acc[j], inv_flat, contrib.ravel(),
+                                          n_unique)
         vals32 = self._buf("bwds/vals32", (n_unique, f), np.float32)
         np.copyto(vals32, acc.T, casting="unsafe")
         nz = self._buf("bwds/nz", (n_unique, f), bool)
         np.not_equal(vals32, 0.0, out=nz)
         keep = self._buf("bwds/keep", n_unique, bool)
         np.any(nz, axis=1, out=keep)
-        kept = np.flatnonzero(keep)
+        kept = self.backend.flatnonzero(keep)
         rows = self._buf("bwds/rows", kept.size, np.int64)
-        np.take(unique_addr, kept, out=rows)
+        self.backend.take_out(unique_addr, kept, rows)
         vals = self._buf("bwds/vals", (kept.size, f), np.float32)
-        np.take(vals32, kept, axis=0, out=vals)
+        self.backend.gather(vals32, kept, out=vals)
         self.last_touched_rows = int(kept.size)
         self.last_scatter_updates = m
         if kept.size:

@@ -39,6 +39,8 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.backend import materialize
+
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.training.trainer import Trainer, TrainingHistory
 
@@ -79,7 +81,13 @@ class Checkpoint:
 
 
 def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
-    """Split a state tree into a JSON-able skeleton and an array table."""
+    """Split a state tree into a JSON-able skeleton and an array table.
+
+    Leaves are materialised to host numpy first, so state trees holding a
+    non-numpy backend's native arrays checkpoint to the same
+    backend-agnostic npz format (restore works under any backend).
+    """
+    node = materialize(node)
     if isinstance(node, np.ndarray):
         if node.dtype == object:
             # np.savez would silently pickle these, and allow_pickle=False
@@ -231,7 +239,8 @@ def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
     :meth:`Trainer.load_state_dict` checks against the restoring config.
     """
     meta = {"scene": trainer.dataset.name, "iteration": int(trainer.iteration),
-            "sparse_updates": bool(trainer.config.sparse_updates)}
+            "sparse_updates": bool(trainer.config.sparse_updates),
+            "backend": str(trainer.config.backend)}
     if metadata:
         meta.update(metadata)
     return save_checkpoint(path, {"trainer": trainer.state_dict(history=history)},

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.registry import BackendLike, resolve_backend
 from repro.nerf.cameras import RayBundle
 from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
@@ -108,6 +109,10 @@ class RenderPipeline:
         Optional workspace arena supplying the dense sigma/rgb planes,
         compacted query blocks and renderer buffers — with it attached,
         steady-state passes perform no large allocations.
+    backend:
+        Array backend executing the sampling draws, compaction
+        gathers/scatters and renderer reductions (``None`` resolves to the
+        process default; the ``numpy`` backend is the bit-exact reference).
     """
 
     def __init__(self, model: "DecoupledRadianceField", scene_bound: float,
@@ -117,7 +122,8 @@ class RenderPipeline:
                  early_termination_tau: Optional[float] = None,
                  termination_segment: int = 8,
                  policy: Optional[PrecisionPolicy] = None,
-                 arena: Optional[WorkspaceArena] = None):
+                 arena: Optional[WorkspaceArena] = None,
+                 backend: BackendLike = None):
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         if early_termination_tau is not None and not (0.0 < early_termination_tau < 1.0):
@@ -129,8 +135,10 @@ class RenderPipeline:
         self.n_samples = int(n_samples)
         self.policy = resolve_policy(policy)
         self.arena = arena
+        self.backend = resolve_backend(backend)
         self.renderer = VolumeRenderer(white_background=white_background,
-                                       policy=self.policy, arena=arena)
+                                       policy=self.policy, arena=arena,
+                                       backend=self.backend)
         self.occupancy = occupancy
         self.culling_enabled = bool(culling_enabled)
         self.early_termination_tau = early_termination_tau
@@ -174,12 +182,14 @@ class RenderPipeline:
         n_samples = self.n_samples
         dtype = self.policy.dtype
         t_vals, deltas = stratified_samples(bundle, n_samples, rng=rng,
-                                            dtype=dtype, arena=self.arena)
+                                            dtype=dtype, arena=self.arena,
+                                            backend=self.backend)
         points, dirs = ray_points(bundle, t_vals, dtype=dtype,
-                                  arena=self.arena)
+                                  arena=self.arena, backend=self.backend)
         points_unit = normalize_points_to_unit_cube(points, self.scene_bound,
                                                     dtype=dtype,
-                                                    arena=self.arena)
+                                                    arena=self.arena,
+                                                    backend=self.backend)
 
         terminating = allow_termination and self.early_termination_tau is not None
         if terminating:
@@ -232,22 +242,26 @@ class RenderPipeline:
         n_samples = self.n_samples
         dtype = self.policy.dtype
         sigma_plane = arena_zeros(self.arena, "pipe/sigma_plane",
-                                  n_rays * n_samples, dtype)
+                                  n_rays * n_samples, dtype,
+                                  backend=self.backend)
         rgb_plane = arena_zeros(self.arena, "pipe/rgb_plane",
-                                (n_rays * n_samples, 3), dtype)
-        idx = np.flatnonzero(keep)
+                                (n_rays * n_samples, 3), dtype,
+                                backend=self.backend)
+        idx = self.backend.flatnonzero(keep)
         self._keep_idx = idx
         n_queried = int(idx.size)
         if n_queried:
             kept_points = arena_buffer(self.arena, "pipe/kept_points",
-                                       (n_queried, 3), points_unit.dtype)
-            np.take(points_unit, idx, axis=0, out=kept_points)
+                                       (n_queried, 3), points_unit.dtype,
+                                       backend=self.backend)
+            self.backend.gather(points_unit, idx, out=kept_points)
             kept_dirs = arena_buffer(self.arena, "pipe/kept_dirs",
-                                     (n_queried, 3), dirs.dtype)
-            np.take(dirs, idx, axis=0, out=kept_dirs)
+                                     (n_queried, 3), dirs.dtype,
+                                     backend=self.backend)
+            self.backend.gather(dirs, idx, out=kept_dirs)
             sigma, rgb = self.model.query(kept_points, kept_dirs)
-            sigma_plane[idx] = sigma
-            rgb_plane[idx] = rgb
+            self.backend.scatter_rows(sigma_plane, idx, sigma)
+            self.backend.scatter_rows(rgb_plane, idx, rgb)
         return (
             self.renderer.forward(
                 sigma_plane.reshape(n_rays, n_samples),
@@ -321,9 +335,11 @@ class RenderPipeline:
             return grad_sigmas.reshape(-1), grad_rgbs.reshape(-1, 3)
         idx = self._keep_idx
         kept_sigmas = arena_buffer(self.arena, "pipe/kept_grad_sigmas",
-                                   idx.size, grad_sigmas.dtype)
-        np.take(grad_sigmas.reshape(-1), idx, out=kept_sigmas)
+                                   idx.size, grad_sigmas.dtype,
+                                   backend=self.backend)
+        self.backend.take_out(grad_sigmas.reshape(-1), idx, kept_sigmas)
         kept_rgbs = arena_buffer(self.arena, "pipe/kept_grad_rgbs",
-                                 (idx.size, 3), grad_rgbs.dtype)
-        np.take(grad_rgbs.reshape(-1, 3), idx, axis=0, out=kept_rgbs)
+                                 (idx.size, 3), grad_rgbs.dtype,
+                                 backend=self.backend)
+        self.backend.gather(grad_rgbs.reshape(-1, 3), idx, out=kept_rgbs)
         return kept_sigmas, kept_rgbs

@@ -7,6 +7,8 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.backend.registry import BackendLike, resolve_backend
+
 
 @dataclass
 class SparseGrad:
@@ -60,9 +62,14 @@ class Parameter:
         non-zero rows (bit-identical semantics, dense cost).
     """
 
-    def __init__(self, data: np.ndarray, name: str = "param"):
-        self.data = np.asarray(data, dtype=np.float32)
-        self.grad = np.zeros_like(self.data)
+    def __init__(self, data: np.ndarray, name: str = "param",
+                 backend: BackendLike = None):
+        # Storage lives on the owning backend (capability-queried, never
+        # isinstance-assumed numpy), so a non-numpy backend's parameters
+        # stay native end-to-end.
+        self.backend = resolve_backend(backend)
+        self.data = self.backend.asarray(data, np.float32)
+        self.grad = self.backend.zeros(self.data.shape, np.float32)
         self.name = name
         #: Optimiser applies row-sparse lazy updates (see class docstring).
         self.sparse = False
@@ -97,7 +104,8 @@ class Parameter:
             raise RuntimeError(
                 f"parameter {self.name} receives COO gradients; dense "
                 f"accumulation would break the all-zero dense-grad invariant")
-        grad = np.asarray(grad, dtype=np.float32)
+        if not self.backend.is_native_f32(grad):
+            grad = self.backend.asarray(grad, np.float32)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match parameter "
@@ -154,7 +162,7 @@ class Parameter:
         if name is not None and name != self.name:
             raise ValueError(
                 f"checkpoint parameter name {name!r} does not match {self.name!r}")
-        data = np.asarray(state["data"], dtype=np.float32)
+        data = self.backend.asarray(state["data"], np.float32)
         if data.shape != self.data.shape:
             raise ValueError(
                 f"checkpoint shape {data.shape} does not match parameter "

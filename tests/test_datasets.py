@@ -19,6 +19,7 @@ from repro.datasets import (
     make_synthetic_scene,
     nerf_synthetic_like,
     scannet_like,
+    silvr_like,
 )
 from repro.datasets.scene import checker_color, gradient_color
 from repro.nerf.cameras import PinholeCamera
@@ -183,3 +184,116 @@ class TestDatasetBuilders:
         scene = make_synthetic_scene("chair")
         with pytest.raises(ValueError):
             build_dataset(scene, n_train_views=0, n_test_views=1, image_size=8)
+
+
+# -- loader contracts (scannet.py / silvr.py) ---------------------------------
+#
+# Rendered once per module at tiny scale; the tests below assert the shape,
+# intrinsics and ray-direction contracts the trainer relies on.
+
+_LOADER_IMAGE_SIZE = 16
+
+
+@pytest.fixture(scope="module")
+def scannet_dataset():
+    (dataset,) = scannet_like(["scene0001_bedroom"], n_train_views=3,
+                              n_test_views=2, image_size=_LOADER_IMAGE_SIZE,
+                              seed=0)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def silvr_dataset():
+    (dataset,) = silvr_like(["garden"], n_train_views=3, n_test_views=2,
+                            image_size=_LOADER_IMAGE_SIZE, seed=0)
+    return dataset
+
+
+def _assert_view_shapes(dataset, image_size):
+    for view in dataset.train_views + dataset.test_views:
+        assert view.rgb.shape == (image_size, image_size, 3)
+        assert view.depth.shape == (image_size, image_size)
+        assert np.all((view.rgb >= 0.0) & (view.rgb <= 1.0))
+        assert view.camera.width == view.camera.height == image_size
+
+
+def _assert_ray_contracts(dataset):
+    for view in dataset.train_views:
+        camera = view.camera
+        bundle = camera.all_rays()
+        assert bundle.n_rays == camera.n_pixels
+        assert bundle.near == camera.near and bundle.far == camera.far
+        # Unit-length directions, all originating at the camera centre.
+        np.testing.assert_allclose(
+            np.linalg.norm(bundle.directions, axis=-1), 1.0, atol=1e-12)
+        assert np.all(bundle.origins == camera.pose[:3, 3])
+        # The centre-pixel ray points down the camera's -z axis.
+        half = camera.width // 2
+        center = camera.rays_for_pixels(np.array([half]), np.array([half]))
+        optical_axis = -camera.pose[:3, 2]
+        assert float(center.directions[0] @ optical_axis) > 0.99
+
+
+class TestScannetLoader:
+    def test_suite_and_split_sizes(self, scannet_dataset):
+        assert scannet_dataset.suite == "scannet"
+        assert scannet_dataset.name == "scene0001_bedroom"
+        assert scannet_dataset.n_train_views == 3
+        assert scannet_dataset.n_test_views == 2
+        assert len(scannet_dataset.train_cameras) == 3
+        assert len(scannet_dataset.train_images) == 3
+
+    def test_view_shapes(self, scannet_dataset):
+        _assert_view_shapes(scannet_dataset, _LOADER_IMAGE_SIZE)
+
+    def test_intrinsics(self, scannet_dataset):
+        bound = scannet_dataset.scene_bound
+        for camera in scannet_dataset.train_cameras + scannet_dataset.test_cameras:
+            assert camera.focal == pytest.approx(0.9 * _LOADER_IMAGE_SIZE)
+            assert camera.near == pytest.approx(0.05)
+            assert camera.far == pytest.approx(2.0 * bound * 1.8)
+
+    def test_interior_camera_rig(self, scannet_dataset):
+        # Interior rig: every camera centre sits inside the room bound.
+        for camera in scannet_dataset.train_cameras + scannet_dataset.test_cameras:
+            assert np.linalg.norm(camera.pose[:3, 3]) < scannet_dataset.scene_bound
+
+    def test_ray_contracts(self, scannet_dataset):
+        _assert_ray_contracts(scannet_dataset)
+
+    def test_default_scene_list(self):
+        assert SCANNET_SCENES == ("scene0000_office", "scene0001_bedroom",
+                                  "scene0002_kitchen", "scene0003_lounge")
+
+    def test_deterministic_in_seed(self):
+        a = scannet_like(["scene0000_office"], n_train_views=1, n_test_views=1,
+                         image_size=8, seed=7)[0]
+        b = scannet_like(["scene0000_office"], n_train_views=1, n_test_views=1,
+                         image_size=8, seed=7)[0]
+        np.testing.assert_array_equal(a.train_views[0].rgb, b.train_views[0].rgb)
+        np.testing.assert_array_equal(a.train_views[0].camera.pose,
+                                      b.train_views[0].camera.pose)
+
+
+class TestSilvrLoader:
+    def test_suite_and_split_sizes(self, silvr_dataset):
+        assert silvr_dataset.suite == "silvr"
+        assert silvr_dataset.name == "garden"
+        assert silvr_dataset.n_train_views == 3
+        assert silvr_dataset.n_test_views == 2
+
+    def test_view_shapes(self, silvr_dataset):
+        _assert_view_shapes(silvr_dataset, _LOADER_IMAGE_SIZE)
+
+    def test_large_volume_camera_radius(self, silvr_dataset):
+        # silvr_like widens the rig to 1.9x the (>= 2.0) scene bound.
+        bound = silvr_dataset.scene_bound
+        assert bound >= 2.0
+        for camera in silvr_dataset.train_cameras + silvr_dataset.test_cameras:
+            assert np.linalg.norm(camera.pose[:3, 3]) == pytest.approx(1.9 * bound)
+
+    def test_ray_contracts(self, silvr_dataset):
+        _assert_ray_contracts(silvr_dataset)
+
+    def test_default_scene_list(self):
+        assert SILVR_SCENES == ("garden", "agora", "zen_garden")
