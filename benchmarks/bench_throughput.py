@@ -1,8 +1,8 @@
 """Throughput benchmark: grid engine, culled pipeline, fleet, checkpoints,
-precision, sparse updates, array backends.
+precision, sparse updates, array backends, ray scheduling.
 
-Seven measurements back the engine, pipeline, io, precision, optimiser and
-backend layers:
+Eight measurements back the engine, pipeline, io, precision, optimiser,
+backend and scheduling layers:
 
 1. **Grid engine** — forward + backward points/sec of the fused stacked-kernel
    engine versus the original per-level loop on a 65k-point batch, with a
@@ -43,9 +43,19 @@ backend layers:
    and each alternate backend's loss trajectory is compared bit-exactly to
    numpy's.  Unavailable optional backends report ``"skipped": true``
    (never missing keys).
+8. **Ray scheduling** — the locality-aware pixel schedulers
+   (:mod:`repro.nerf.scheduling`) against the uniform random draw: a
+   differential check that ``ray_schedule="uniform"`` (the default) still
+   reproduces the frozen pre-scheduler trainer exactly, then one culled +
+   sparse training run per schedule (uniform / morton / occupancy, the
+   non-uniform ones with ``address_sort=True``) scoring the recorded
+   density-grid write trace through the modeled
+   :class:`~repro.accelerator.bum.BackPropUpdateMerger` — merge rate,
+   unique-touched-rows fraction — next to end-to-end ms/iteration and PSNR
+   at equal step count.
 
 Results are printed and written to ``BENCH_throughput.json`` next to the
-repository root.  ``--smoke`` shrinks all measurements for CI (< 30 s).
+repository root.  ``--smoke`` shrinks all measurements for CI (< 60 s).
 
 Run with:  PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
 """
@@ -61,7 +71,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.accelerator.bum import BackPropUpdateMerger
+from repro.accelerator.bum import BackPropUpdateMerger, replay_trace
 from repro.backend import available_backends
 from repro.core.model import DecoupledRadianceField
 from repro.core.schedule import BranchSchedules
@@ -70,19 +80,21 @@ from repro.grid.hash_encoding import HashGridConfig, MultiResHashGrid
 from repro.nerf.cameras import sample_pixel_batch
 from repro.nerf.losses import mse_loss
 from repro.nerf.sampling import normalize_points_to_unit_cube, ray_points, stratified_samples
+from repro.nerf.scheduling import RAY_SCHEDULES
 from repro.nerf.volume_rendering import VolumeRenderer
 from repro.io import load_trainer_checkpoint, save_trainer_checkpoint
 from repro.nn.optim import Adam
 from repro.training.fleet import SceneFleet
+from repro.training.metrics import evaluate_model
 from repro.training.profiler import PhaseTimer, TrainPhase
 from repro.training.trainer import Trainer, TrainingHistory
 from repro.utils.seeding import derive_rng, new_rng
 from repro.utils.workspace import WorkspaceArena
 
 try:
-    from benchmarks.common import bench_config, print_report
+    from benchmarks.common import bench_config, print_report, synthetic_datasets
 except ImportError:                      # run as a script from benchmarks/
-    from common import bench_config, print_report
+    from common import bench_config, print_report, synthetic_datasets
 
 #: Grid used for the engine measurement (reduced-scale Instant-NGP shape).
 ENGINE_GRID = HashGridConfig(
@@ -852,10 +864,103 @@ def bench_backends(image_size: int, reference_steps: int,
     }
 
 
+def bench_scheduling(reference_steps: int, n_steps: int, trace_steps: int,
+                     bum_trace_cap: int) -> dict:
+    """Locality-aware ray scheduling vs the uniform random pixel draw.
+
+    Two sub-measurements:
+
+    * **differential** — a dense default-config trainer (which now routes
+      Step ❶ through :class:`~repro.nerf.scheduling.UniformScheduler`) against
+      the frozen pre-scheduler reference loop, asserted loss-bit-identical
+      over ``reference_steps`` steps;
+    * **schedule comparison** — one culled + sparse training run per ray
+      schedule at a locality-sensitive workload (96 samples/ray so
+      neighbouring rays overlap in the fine grid levels, Morton tiles of
+      16x16 pixels, ``address_sort=True`` for the non-uniform schedules).
+      After warm-up, the density grid's recorded write-address trace from
+      each of the last ``trace_steps`` steps is replayed through the modeled
+      16-entry / 16-cycle :class:`BackPropUpdateMerger` (bounded to
+      ``bum_trace_cap`` updates, the same protocol as the sparse section)
+      and the merge rates averaged.  Touched-rows, ms/iteration and
+      equal-step PSNR come from the same runs, so the locality win and its
+      end-to-end cost/benefit sit in one table.
+
+    The replay is deterministic given seed and step count — no wall-clock
+    dependence — which is what lets CI pin ``merge_rate_scheduled`` to an
+    absolute floor rather than a flaky relative margin.
+    """
+    dataset = synthetic_datasets()[0]
+
+    # Differential: ray_schedule="uniform" (the default) must consume the
+    # pixel RNG stream exactly as sample_pixel_batch did pre-scheduler.
+    dense_config = bench_config(0.25, 0.5)
+    reference = _reference_dense_losses(dataset, dense_config, 0, reference_steps)
+    probe_model = DecoupledRadianceField(dense_config, seed=0)
+    probe = Trainer(probe_model, dataset, config=dense_config, seed=0)
+    uniform_losses = [probe.train_step()["loss"] for _ in range(reference_steps)]
+    uniform_matches_reference = uniform_losses == reference
+    if not uniform_matches_reference:
+        raise AssertionError(
+            "uniform schedule deviates from the reference trainer")
+
+    base = dataclasses.replace(
+        bench_config(0.25, 0.5), culling_enabled=True, sparse_updates=True,
+        n_samples_per_ray=96, batch_pixels=192, tile_size=16)
+    schedules = {}
+    for schedule in RAY_SCHEDULES:
+        config = dataclasses.replace(
+            base, ray_schedule=schedule, address_sort=(schedule != "uniform"))
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, dataset, config=config, seed=0)
+        merge_rates, unique_fractions, rows_touched, kept = [], [], [], []
+        start = time.perf_counter()
+        for step in range(n_steps):
+            metrics = trainer.train_step()
+            if step < n_steps - trace_steps:
+                continue
+            trace = model.encoder.density_grid.last_access.flat_addresses()
+            replay = replay_trace(trace, cap=bum_trace_cap)
+            merge_rates.append(replay["merge_rate"])
+            unique_fractions.append(
+                replay["unique_addresses"] / max(replay["n_updates"], 1))
+            rows_touched.append(metrics["grid_rows_touched"])
+            kept.append(metrics["queries_kept"])
+        train_s = time.perf_counter() - start
+        result = evaluate_model(
+            model, dataset, n_views=1, n_samples=48,
+            white_background=config.white_background,
+            occupancy=trainer.occupancy,
+            early_termination_tau=config.early_termination_tau,
+            policy=trainer.policy)
+        schedules[schedule] = {
+            "address_sort": config.address_sort,
+            "bum_merge_rate": float(np.mean(merge_rates)),
+            "unique_rows_fraction": float(np.mean(unique_fractions)),
+            "grid_rows_touched": float(np.mean(rows_touched)),
+            "queries_kept": float(np.mean(kept)),
+            "train_ms_per_iter": train_s / n_steps * 1e3,
+            "rgb_psnr": result.rgb_psnr,
+        }
+
+    return {
+        "n_steps": n_steps,
+        "trace_steps": trace_steps,
+        "bum_trace_cap": bum_trace_cap,
+        "batch_pixels": base.batch_pixels,
+        "n_samples_per_ray": base.n_samples_per_ray,
+        "tile_size": base.tile_size,
+        "uniform_matches_reference": uniform_matches_reference,
+        "schedules": schedules,
+        "merge_rate_uniform": schedules["uniform"]["bum_merge_rate"],
+        "merge_rate_scheduled": schedules["occupancy"]["bum_merge_rate"],
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="reduced sizes for a <30 s CI smoke run")
+                        help="reduced sizes for a <60 s CI smoke run")
     parser.add_argument("--workers", type=int, default=0,
                         help="fleet worker processes (0 = in-process round-robin)")
     parser.add_argument("--output", type=Path,
@@ -876,6 +981,11 @@ def main() -> None:
         sparse_sizes, sparse_repeats = (14, 19), 3
         sparse_diff_steps, sparse_phase_iters, bum_cap = 20, 20, 40000
         backend_image, backend_steps, backend_timing = 20, 10, 6
+        # The schedule comparison keeps full-size steps even in smoke: the
+        # merge-rate floor CI asserts is pinned to this exact deterministic
+        # workload (seed, steps, trace cap), so shrinking it would change
+        # the statistic being asserted, not just its noise.
+        sched_ref_steps, sched_steps, sched_trace_steps, sched_cap = 10, 48, 4, 40000
     else:
         engine_points, repeats = ENGINE_BATCH, 9
         fleet_scenes, fleet_iterations, fleet_image = 3, 80, 28
@@ -886,6 +996,7 @@ def main() -> None:
         sparse_sizes, sparse_repeats = (14, 16, 19), 7
         sparse_diff_steps, sparse_phase_iters, bum_cap = 20, 60, 120000
         backend_image, backend_steps, backend_timing = 28, 20, 10
+        sched_ref_steps, sched_steps, sched_trace_steps, sched_cap = 20, 48, 4, 40000
 
     engine = bench_grid_engine(engine_points, repeats)
     rows = []
@@ -1034,10 +1145,33 @@ def main() -> None:
     print(f"numpy backend matches reference trainer: "
           f"{backends['numpy_reference_matches_seed']}")
 
+    scheduling = bench_scheduling(sched_ref_steps, sched_steps,
+                                  sched_trace_steps, sched_cap)
+    print_report(
+        f"Ray scheduling ({scheduling['batch_pixels']} px x "
+        f"{scheduling['n_samples_per_ray']} samples, "
+        f"{scheduling['n_steps']} steps, tile {scheduling['tile_size']})",
+        ["schedule", "BUM merge rate", "unique rows", "ms/iter", "RGB PSNR"],
+        [
+            [name,
+             f"{row['bum_merge_rate']:.3f}",
+             f"{row['grid_rows_touched']:.0f} "
+             f"({row['unique_rows_fraction']:.1%} of trace)",
+             f"{row['train_ms_per_iter']:.0f}",
+             f"{row['rgb_psnr']:.2f}"]
+            for name, row in scheduling["schedules"].items()
+        ],
+    )
+    print(f"uniform matches reference trainer: "
+          f"{scheduling['uniform_matches_reference']}   "
+          f"merge rate uniform -> scheduled: "
+          f"{scheduling['merge_rate_uniform']:.3f} -> "
+          f"{scheduling['merge_rate_scheduled']:.3f}")
+
     payload = {"engine": engine, "culling": culling, "fleet": fleet,
                "checkpoint": checkpoint, "precision": precision,
                "sparse": sparse, "backends": backends,
-               "smoke": bool(args.smoke)}
+               "scheduling": scheduling, "smoke": bool(args.smoke)}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nWrote {args.output}")
 

@@ -32,7 +32,7 @@ from repro.accelerator.config import (
 )
 from repro.accelerator.sram import SRAMBankArray, BankConflictStats
 from repro.accelerator.frm import FeedForwardReadMapper, FRMResult
-from repro.accelerator.bum import BackPropUpdateMerger, BUMResult
+from repro.accelerator.bum import BackPropUpdateMerger, BUMResult, replay_trace
 from repro.accelerator.mlp_unit import SystolicArrayUnit, AdderTreeUnit, MLPEngine
 from repro.accelerator.fusion import select_fusion_mode, FusionPlan
 from repro.accelerator.trace import MemoryTrace, extract_training_trace
@@ -61,6 +61,7 @@ __all__ = [
     "FeedForwardReadMapper",
     "FRMResult",
     "BackPropUpdateMerger",
+    "replay_trace",
     "BUMResult",
     "SystolicArrayUnit",
     "AdderTreeUnit",

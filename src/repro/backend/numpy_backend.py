@@ -80,7 +80,12 @@ class NumpyBackend(ArrayBackend):
 
     # -- ordering / compaction ----------------------------------------------
     def argsort(self, x: np.ndarray) -> np.ndarray:
-        return np.argsort(x)
+        # The base-class contract promises a *stable* permutation: equal keys
+        # keep their input order.  Address-sorted scheduling makes tie order
+        # semantically load-bearing (same-voxel samples must stay in draw
+        # order across backends), so the default introsort would be a
+        # contract violation waiting for a differential test to find it.
+        return np.argsort(x, kind="stable")
 
     def cumsum(self, x: np.ndarray, axis: Optional[int] = None,
                out: Optional[np.ndarray] = None) -> np.ndarray:

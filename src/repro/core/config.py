@@ -10,6 +10,12 @@ from repro.backend import (ArrayBackend, available_backends,
 from repro.grid.hash_encoding import HashGridConfig
 from repro.utils.precision import PRECISION_NAMES, PrecisionPolicy, resolve_policy
 
+#: Valid ``ray_schedule`` values.  Kept as a local tuple (rather than
+#: importing ``repro.nerf.scheduling.RAY_SCHEDULES``, which mirrors it)
+#: because ``repro.core`` must not import ``repro.nerf`` at module level;
+#: a test asserts the two stay in sync.
+_RAY_SCHEDULES = ("uniform", "morton", "occupancy")
+
 
 @dataclass(frozen=True)
 class Instant3DConfig:
@@ -108,6 +114,31 @@ class Instant3DConfig:
     occupancy_threshold: float = 0.01
     occupancy_refresh_samples: int = 4096
     early_termination_tau: Optional[float] = None
+    #: Pixel-batch schedule of the training loop (see
+    #: :mod:`repro.nerf.scheduling`).  ``"uniform"`` (the default) draws
+    #: independent random pixels — bit-identical to previous releases.
+    #: ``"morton"`` draws random ``tile_size x tile_size`` tiles and walks
+    #: each tile's pixels along the 2-D Z curve; ``"occupancy"``
+    #: additionally reorders the batch (stably, no extra RNG draws) by the
+    #: 3-D Morton code of the first occupied cell each ray enters, grouping
+    #: rays whose kept samples scatter into the same grid rows.  The tiled
+    #: schedules raise the address locality seen by the accelerator's
+    #: backward-update merger (the ``scheduling`` section of
+    #: ``BENCH_throughput.json`` quantifies the merge-rate gain).
+    ray_schedule: str = "uniform"
+    #: Edge length of the square pixel tiles drawn by the ``"morton"`` and
+    #: ``"occupancy"`` schedules (clamped to the smallest view dimension).
+    tile_size: int = 8
+    #: Sort each compacted batch's surviving samples by the Morton code of
+    #: their finest-level grid voxel before the field query, so the backward
+    #: scatter trace arrives near-sorted (maximal address locality for the
+    #: update merger, cheaper COO dedupe).  Reordering the batch rows changes
+    #: the reduction order of the MLP weight-gradient matmuls, so this knob
+    #: is *not* bit-identical to the unsorted path (same-ulp-class results,
+    #: like a backend change); it is therefore opt-in and excluded from the
+    #: frozen-oracle differential tests.  Only affects the culled/compacted
+    #: path — the dense default ignores it.
+    address_sort: bool = False
     #: Compute dtype of every batch-proportional hot-path array (grid weight
     #: planes, renderer compositing, sampling, loss, optimiser scratch).
     #: ``"float64"`` is the bit-exact reference path every differential test
@@ -185,6 +216,12 @@ class Instant3DConfig:
         if self.early_termination_tau is not None and not (
                 0.0 < self.early_termination_tau < 1.0):
             raise ValueError("early_termination_tau must be in (0, 1) or None")
+        if self.ray_schedule not in _RAY_SCHEDULES:
+            raise ValueError(
+                f"ray_schedule must be one of {_RAY_SCHEDULES}, "
+                f"got {self.ray_schedule!r}")
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
         if not (0.0 < self.color_size_ratio <= 8.0):
             raise ValueError("color_size_ratio must be in (0, 8]")
         for freq in (self.density_update_freq, self.color_update_freq):

@@ -30,6 +30,7 @@ from repro.grid.interpolation import (
     trilinear_weights,
 )
 from repro.nn.parameter import Parameter
+from repro.utils.morton import morton_encode_3d
 from repro.utils.precision import PrecisionPolicy, resolve_policy
 from repro.utils.workspace import WorkspaceArena, arena_buffer, arena_zeros
 
@@ -741,6 +742,26 @@ class MultiResHashGrid:
             [int(offset) for offset in self._offsets_arr],
             [int(size) for size in self._table_sizes_arr],
         )
+
+    def point_sort_keys(self, points_unit: np.ndarray) -> np.ndarray:
+        """Morton code of each point's finest-level voxel (locality sort key).
+
+        Sorting a batch by these keys makes consecutive points spatial
+        neighbours at *every* level of the grid — same-voxel points repeat
+        all eight corner addresses back-to-back, and coarse-level addresses
+        form long constant runs — which is what the accelerator's
+        backward-update merger needs to see addresses recur within its small
+        matching window.  The keys are pure metadata: computing them records
+        nothing and touches no table.
+        """
+        points_unit = np.asarray(points_unit, dtype=np.float64)
+        if points_unit.ndim != 2 or points_unit.shape[1] != 3:
+            raise ValueError(
+                f"points must have shape (N, 3), got {points_unit.shape}")
+        res = self.levels[-1].resolution
+        base = (np.clip(points_unit, 0.0, 1.0) * res).astype(np.int64)
+        np.minimum(base, res - 1, out=base)
+        return morton_encode_3d(base[:, 0], base[:, 1], base[:, 2])
 
     # -- forward / backward -------------------------------------------------
     def forward(self, points: np.ndarray) -> np.ndarray:

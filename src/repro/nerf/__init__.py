@@ -17,15 +17,26 @@ pipeline described in Sec. 2.1 of the paper (Step ❸ — querying point feature
 occupancy-culled ray lifecycle (sample compaction via
 :class:`~repro.nerf.occupancy.OccupancyGrid`, optional early ray
 termination) that the trainer, evaluators and fleet route through.
+:mod:`repro.nerf.scheduling` supplies the Step-❶ schedulers — uniform
+(the bit-identical default), Morton-tiled and occupancy-aware — that trade
+pixel-draw randomness for grid-address locality.
 """
 
 from repro.nerf.cameras import PinholeCamera, RayBundle, sample_pixel_batch
-from repro.nerf.sampling import stratified_samples, ray_points
+from repro.nerf.sampling import stratified_samples, ray_points, ray_probe_points
 from repro.nerf.volume_rendering import VolumeRenderer, RenderOutput
 from repro.nerf.losses import mse_loss, psnr, mse_to_psnr
 from repro.nerf.encoding import positional_encoding, spherical_harmonics_encoding
 from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.pipeline import PipelineRender, RenderPipeline
+from repro.nerf.scheduling import (
+    RAY_SCHEDULES,
+    MortonTileScheduler,
+    OccupancyTileScheduler,
+    RayScheduler,
+    UniformScheduler,
+    make_scheduler,
+)
 from repro.nerf.vanilla import VanillaNeRF, VanillaNeRFConfig
 
 __all__ = [
@@ -34,6 +45,13 @@ __all__ = [
     "sample_pixel_batch",
     "stratified_samples",
     "ray_points",
+    "ray_probe_points",
+    "RAY_SCHEDULES",
+    "RayScheduler",
+    "UniformScheduler",
+    "MortonTileScheduler",
+    "OccupancyTileScheduler",
+    "make_scheduler",
     "VolumeRenderer",
     "RenderOutput",
     "mse_loss",

@@ -146,6 +146,29 @@ class OccupancyGrid:
         ix, iy, iz = self.cell_indices(points_unit)
         return self.occupancy[ix, iy, iz]
 
+    def first_occupied_cells(self, points_unit: np.ndarray, n_rays: int,
+                             n_probes: int) -> Tuple[np.ndarray, np.ndarray,
+                                                     np.ndarray, np.ndarray]:
+        """First occupied probe cell along each ray, for batch scheduling.
+
+        ``points_unit`` holds ``n_rays * n_probes`` unit-cube probe points in
+        ray-major order (see :func:`~repro.nerf.sampling.ray_probe_points`).
+        Returns ``(found, ix, iy, iz)``, each of shape ``(n_rays,)``:
+        ``found`` marks rays whose probes hit at least one occupied cell and
+        ``ix/iy/iz`` are that first hit's cell indices (the first probe's
+        cell for no-hit rays — callers must gate on ``found``).
+        """
+        points_unit = np.asarray(points_unit, dtype=np.float64)
+        if points_unit.shape[0] != n_rays * n_probes:
+            raise ValueError("expected n_rays * n_probes probe points")
+        ix, iy, iz = self.cell_indices(points_unit)
+        hits = self.occupancy[ix, iy, iz].reshape(n_rays, n_probes)
+        first = np.argmax(hits, axis=1)
+        rays = np.arange(n_rays)
+        found = hits[rays, first]
+        sel = rays * n_probes + first
+        return found, ix[sel], iy[sel], iz[sel]
+
     def filter_samples(self, points_unit: np.ndarray) -> np.ndarray:
         """Mask of samples worth querying (True = keep).
 

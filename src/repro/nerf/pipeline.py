@@ -113,6 +113,17 @@ class RenderPipeline:
         Array backend executing the sampling draws, compaction
         gathers/scatters and renderer reductions (``None`` resolves to the
         process default; the ``numpy`` backend is the bit-exact reference).
+    address_sort:
+        Reorder each compacted batch's kept samples by the Morton code of
+        their finest-level grid voxel before the field query (requires the
+        model to expose ``encoder.density_grid.point_sort_keys``).  The
+        scatter/gather index permutation is carried through forward and
+        backward, so dense planes and composited colors are positioned
+        exactly as without sorting; only the *row order* of the compacted
+        query changes, which makes the backward scatter's address trace
+        near-sorted.  Because batch-row order feeds the MLP weight-gradient
+        matmul reductions, results match the unsorted path to ulp level, not
+        bitwise — the knob is opt-in and only touches the culled path.
     """
 
     def __init__(self, model: "DecoupledRadianceField", scene_bound: float,
@@ -123,7 +134,8 @@ class RenderPipeline:
                  termination_segment: int = 8,
                  policy: Optional[PrecisionPolicy] = None,
                  arena: Optional[WorkspaceArena] = None,
-                 backend: BackendLike = None):
+                 backend: BackendLike = None,
+                 address_sort: bool = False):
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         if early_termination_tau is not None and not (0.0 < early_termination_tau < 1.0):
@@ -141,6 +153,7 @@ class RenderPipeline:
                                        backend=self.backend)
         self.occupancy = occupancy
         self.culling_enabled = bool(culling_enabled)
+        self.address_sort = bool(address_sort)
         self.early_termination_tau = early_termination_tau
         self.termination_segment = int(termination_segment)
         self._keep_flat: Optional[np.ndarray] = None   # flat bool mask of last pass
@@ -248,8 +261,10 @@ class RenderPipeline:
                                 (n_rays * n_samples, 3), dtype,
                                 backend=self.backend)
         idx = self.backend.flatnonzero(keep)
-        self._keep_idx = idx
         n_queried = int(idx.size)
+        if self.address_sort and n_queried:
+            idx = self._address_sorted(points_unit, idx, n_queried)
+        self._keep_idx = idx
         if n_queried:
             kept_points = arena_buffer(self.arena, "pipe/kept_points",
                                        (n_queried, 3), points_unit.dtype,
@@ -270,6 +285,27 @@ class RenderPipeline:
             ),
             n_queried,
         )
+
+    def _address_sorted(self, points_unit, idx, n_queried: int) -> np.ndarray:
+        """Permute the kept-sample indices into grid-address (Morton) order.
+
+        Because ``idx`` indexes both the gather (forward) and the gradient
+        gather (backward), permuting it *before* the query reorders the
+        whole compacted pass consistently — scattered planes, rendering and
+        gradients are unchanged up to floating-point reduction order, while
+        the grid sees a near-sorted address stream.
+        """
+        sort_points = arena_buffer(self.arena, "pipe/sort_points",
+                                   (n_queried, 3), points_unit.dtype,
+                                   backend=self.backend)
+        self.backend.gather(points_unit, idx, out=sort_points)
+        keys = self.model.encoder.density_grid.point_sort_keys(sort_points)
+        perm = self.backend.argsort(keys)
+        sorted_idx = arena_buffer(self.arena, "pipe/sorted_idx",
+                                  n_queried, idx.dtype,
+                                  backend=self.backend)
+        self.backend.take_out(idx, perm, sorted_idx)
+        return sorted_idx
 
     def _march_terminated(self, points_unit, dirs, t_vals, deltas,
                           n_rays: int) -> Tuple[RenderOutput, int]:

@@ -119,6 +119,26 @@ def ray_points(ray_bundle: RayBundle, t_vals: np.ndarray,
     return points.reshape(-1, 3), dirs.reshape(-1, 3)
 
 
+def ray_probe_points(ray_bundle: RayBundle, n_probes: int) -> np.ndarray:
+    """Deterministic probe points at bin midpoints along each ray.
+
+    A cheap, jitter-free cousin of :func:`stratified_samples` +
+    :func:`ray_points` used by the occupancy-aware scheduler to ask "which
+    grid cells does this ray march through?" without touching any RNG stream
+    (reordering a batch must never perturb the trainer's sample draws).
+
+    Returns ``(n_rays * n_probes, 3)`` world-space points, ray-major.
+    """
+    if n_probes < 1:
+        raise ValueError("n_probes must be >= 1")
+    near, far = ray_bundle.near, ray_bundle.far
+    t_vals = near + (far - near) * \
+        (np.arange(n_probes, dtype=np.float64) + 0.5) / n_probes
+    points = (ray_bundle.origins[:, None, :]
+              + t_vals[None, :, None] * ray_bundle.directions[:, None, :])
+    return points.reshape(-1, 3)
+
+
 def normalize_points_to_unit_cube(points: np.ndarray, scene_bound: float,
                                   dtype=np.float64,
                                   arena: Optional[WorkspaceArena] = None,

@@ -40,6 +40,7 @@ scenes-per-hour throughput figure used by ``benchmarks/bench_throughput.py``.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -215,7 +216,8 @@ class SceneFleet:
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
         names = [dataset.name for dataset in datasets]
-        duplicates = sorted({name for name in names if names.count(name) > 1})
+        duplicates = sorted(name for name, count in Counter(names).items()
+                            if count > 1)
         if duplicates:
             raise ValueError(
                 f"duplicate scene names in fleet: {duplicates} — per-scene "

@@ -44,18 +44,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class TrainPhase:
     """Symbolic names of the measured training-step phases.
 
-    ``BACKWARD_SCATTER`` covers the gradient path from the renderer's
-    per-sample gradients down to the parameter gradients (the hash-table
-    scatter included); ``OPTIMIZER_STEP`` the Adam/SGD updates.  Splitting
-    the two is what lets the throughput benchmark attribute the
-    sparse-update win to the phase it lands in.
+    ``SAMPLING`` is the pixel-batch draw (Step ❶, whatever the configured
+    ray schedule), kept separate from ``FORWARD`` so scheduler overhead —
+    tile draws, occupancy probing, batch reordering — is attributed instead
+    of hiding inside the forward pass.  ``BACKWARD_SCATTER`` covers the
+    gradient path from the renderer's per-sample gradients down to the
+    parameter gradients (the hash-table scatter included);
+    ``OPTIMIZER_STEP`` the Adam/SGD updates.  Splitting the two is what lets
+    the throughput benchmark attribute the sparse-update win to the phase it
+    lands in.
     """
 
+    SAMPLING = "sampling"
     FORWARD = "forward"
     LOSS = "loss"
     BACKWARD_SCATTER = "backward_scatter"
     OPTIMIZER_STEP = "optimizer_step"
-    ORDER = (FORWARD, LOSS, BACKWARD_SCATTER, OPTIMIZER_STEP)
+    ORDER = (SAMPLING, FORWARD, LOSS, BACKWARD_SCATTER, OPTIMIZER_STEP)
 
 
 class PhaseTimer:

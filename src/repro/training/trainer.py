@@ -30,10 +30,10 @@ from repro.core.config import Instant3DConfig
 from repro.core.model import DecoupledRadianceField
 from repro.core.schedule import BranchSchedules
 from repro.datasets.dataset import SceneDataset
-from repro.nerf.cameras import sample_pixel_batch
 from repro.nerf.losses import mse_loss, mse_to_psnr
 from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.pipeline import RenderPipeline
+from repro.nerf.scheduling import make_scheduler
 from repro.nn.optim import Adam
 from repro.training.metrics import EvaluationResult, evaluate_model
 from repro.training.profiler import PhaseTimer, TrainPhase
@@ -197,6 +197,20 @@ class Trainer:
             policy=self.policy,
             arena=self.arena,
             backend=self.backend,
+            address_sort=self.config.address_sort,
+        )
+        # Pixel-batch scheduler (Step ❶).  The default "uniform" schedule
+        # consumes the pixel RNG stream exactly as the pre-scheduler trainer
+        # did, so existing runs are bit-identical; the tiled schedules trade
+        # that stream for locality-preserving draws (see
+        # repro.nerf.scheduling).
+        self.scheduler = make_scheduler(
+            self.config.ray_schedule,
+            dataset.train_cameras, dataset.train_images,
+            self.config.batch_pixels,
+            tile_size=self.config.tile_size,
+            occupancy=self.occupancy,
+            scene_bound=dataset.scene_bound,
         )
         self.density_optimizer = Adam(model.density_parameters(),
                                       lr=self.config.learning_rate,
@@ -213,8 +227,9 @@ class Trainer:
         self.color_updates = 0
         self.occupancy_refresh_points = 0
         #: Optional :class:`~repro.training.profiler.PhaseTimer` splitting
-        #: every step's wall time into forward / loss / backward-scatter /
-        #: optimiser-step phases (``None`` = no timing overhead).
+        #: every step's wall time into sampling / forward / loss /
+        #: backward-scatter / optimiser-step phases (``None`` = no timing
+        #: overhead).
         self.profiler: Optional[PhaseTimer] = None
 
     # -- occupancy maintenance -------------------------------------------------
@@ -332,18 +347,15 @@ class Trainer:
 
     def train_step(self) -> Dict[str, float]:
         """Run one full training iteration and return its scalar metrics."""
-        config = self.config
         update_density, update_color = self.schedules.updates_at(self.iteration)
         if self.occupancy is not None:
             self._refresh_occupancy()
 
-        with self._phase(TrainPhase.FORWARD):
-            # ❶ — pixel batch.
-            bundle, targets = sample_pixel_batch(
-                self.dataset.train_cameras, self.dataset.train_images,
-                config.batch_pixels, self._pixel_rng,
-            )
+        with self._phase(TrainPhase.SAMPLING):
+            # ❶ — pixel batch, drawn by the configured ray schedule.
+            bundle, targets = self.scheduler.sample_batch(self._pixel_rng)
 
+        with self._phase(TrainPhase.FORWARD):
             # ❷ / ❸ / ❹ — sampling, (culled) field query and volume rendering.
             out = self.pipeline.render_rays(bundle, rng=self._sample_rng)
 

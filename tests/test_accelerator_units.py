@@ -14,6 +14,7 @@ from repro.accelerator import (
     MLPUnitConfig,
     SRAMBankArray,
     SystolicArrayUnit,
+    replay_trace,
     select_fusion_mode,
 )
 from repro.accelerator.fusion import plan_fusion
@@ -152,6 +153,44 @@ class TestBackPropUpdateMerger:
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
             BackPropUpdateMerger(n_entries=0)
+
+    def test_empty_stream(self):
+        result = BackPropUpdateMerger().process(np.array([], dtype=np.int64))
+        assert result.n_updates == 0
+        assert result.n_sram_writes == 0
+        assert result.n_merged == 0
+        assert result.merge_rate == 0.0
+        assert result.write_reduction == 0.0
+
+    def test_single_entry_buffer_merges_only_immediate_repeats(self):
+        bum = BackPropUpdateMerger(n_entries=1, timeout_cycles=100)
+        # The lone entry is displaced by every address change, so only
+        # back-to-back repeats merge: 5,5 and 6,6,6 -> 3 merges, 3 writes.
+        result = bum.process(np.array([5, 5, 7, 6, 6, 6]))
+        assert result.n_merged == 3
+        assert result.n_sram_writes == 3
+
+    def test_timeout_eviction_order_is_least_recently_merged(self):
+        # Entries 1 and 2 are inserted, then 1 is refreshed.  After the
+        # timeout window passes, 2 (stale) is written back while 1 (fresh)
+        # is still mergeable.
+        bum = BackPropUpdateMerger(n_entries=16, timeout_cycles=3)
+        result = bum.process(np.array([1, 2, 1, 1, 2]))
+        # merges: 1@2, 1@3; 2 expires at cycle 4 (last merged cycle 1),
+        # so the final 2 re-inserts instead of merging.
+        assert result.n_merged == 2
+        assert result.n_sram_writes == 3
+
+    def test_replay_trace_summarises_capped_stream(self):
+        trace = np.array([3, 3, 3, 9, 9, 42, 42, 42, 42, 7])
+        summary = replay_trace(trace, cap=9)   # drops the trailing 7
+        assert summary["n_updates"] == 9
+        assert summary["unique_addresses"] == 3
+        assert summary["n_merged"] == 6
+        assert summary["merge_rate"] == pytest.approx(6 / 9)
+        # A perfect merger would coalesce every repeat.
+        assert summary["perfect_merge_rate"] == pytest.approx(1 - 3 / 9)
+        assert summary["merge_rate"] <= summary["perfect_merge_rate"]
 
 
 class TestMLPUnits:
