@@ -53,6 +53,49 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports nerf)
 
 
 @dataclass
+class SampleStage:
+    """Stage ❶ output: stratified samples and world→unit points for a batch.
+
+    Beware of buffer lifetime under an arena: every array aliases the
+    arena's sampling buffers and is only valid until the pipeline samples
+    the *next* bundle.  Callers that interleave bundles (the serving
+    coalescer) must copy what they keep into their own named buffers.
+    """
+
+    t_vals: np.ndarray          # (n_rays, n_samples) sample distances
+    deltas: np.ndarray          # (n_rays, n_samples) sample spacings
+    points_unit: np.ndarray     # (n_rays * n_samples, 3) unit-cube positions
+    dirs: np.ndarray            # (n_rays * n_samples, 3) per-sample directions
+    n_rays: int
+    n_samples: int
+
+    @property
+    def n_total(self) -> int:
+        return self.n_rays * self.n_samples
+
+
+@dataclass
+class CullStage:
+    """Stage ❷ output: the occupancy-culled query plan for one sample batch.
+
+    ``idx is None`` marks the dense plan (culling off, or nothing cullable):
+    the query runs over the full ``points_unit`` block and the composite is
+    a plain reshape.  Otherwise ``idx`` holds the kept flat sample indices
+    (already permuted when address sorting is on) and ``keep_flat`` the flat
+    boolean mask the backward gather needs.
+    """
+
+    sample: SampleStage
+    keep_flat: Optional[np.ndarray]
+    idx: Optional[np.ndarray]
+    n_queried: int
+
+    @property
+    def dense(self) -> bool:
+        return self.idx is None
+
+
+@dataclass
 class PipelineRender:
     """Outputs and query accounting of one pipeline pass over a ray batch."""
 
@@ -179,6 +222,113 @@ class RenderPipeline:
         fraction = self.occupancy.occupancy_fraction
         return fraction if fraction > 0.0 else 1.0
 
+    # -- composable stages -------------------------------------------------------
+    # render_rays is the synchronous recomposition of these four stages; the
+    # serving layer calls them individually so rays from multiple pending
+    # requests for the same scene can share one engine stream (gather the
+    # per-request kept blocks, concatenate, query once, composite per
+    # request).  The staged path is bit-identical to the monolithic PR 7
+    # forward: stage order, arena buffer names and arithmetic are unchanged —
+    # only the dense-plane allocation moved from before the query to the
+    # composite, which is value-neutral (distinct buffer names, zero fill).
+
+    def stage_samples(self, bundle: RayBundle,
+                      rng: Optional[np.random.Generator] = None) -> SampleStage:
+        """Stage ❶: stratified distances and unit-cube sample positions."""
+        dtype = self.policy.dtype
+        t_vals, deltas = stratified_samples(bundle, self.n_samples, rng=rng,
+                                            dtype=dtype, arena=self.arena,
+                                            backend=self.backend)
+        points, dirs = ray_points(bundle, t_vals, dtype=dtype,
+                                  arena=self.arena, backend=self.backend)
+        points_unit = normalize_points_to_unit_cube(points, self.scene_bound,
+                                                    dtype=dtype,
+                                                    arena=self.arena,
+                                                    backend=self.backend)
+        return SampleStage(t_vals=t_vals, deltas=deltas,
+                           points_unit=points_unit, dirs=dirs,
+                           n_rays=bundle.n_rays, n_samples=self.n_samples)
+
+    def stage_cull(self, sample: SampleStage) -> CullStage:
+        """Stage ❷: occupancy filtering into a dense or compacted query plan."""
+        if not self.culling_active:
+            return CullStage(sample=sample, keep_flat=None, idx=None,
+                             n_queried=sample.n_total)
+        keep = self.occupancy.filter_samples(sample.points_unit)
+        if keep.all():
+            # Nothing to cull (e.g. before the grid's first update): take the
+            # dense plan so no compaction copies are paid.
+            return CullStage(sample=sample, keep_flat=None, idx=None,
+                             n_queried=int(keep.size))
+        idx = self.backend.flatnonzero(keep)
+        n_queried = int(idx.size)
+        if self.address_sort and n_queried:
+            idx = self._address_sorted(sample.points_unit, idx, n_queried)
+        return CullStage(sample=sample, keep_flat=keep, idx=idx,
+                         n_queried=n_queried)
+
+    def stage_gather(self, plan: CullStage
+                     ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Stage ❸a: compact the kept samples into contiguous query blocks.
+
+        Dense plans pass the full sample block through untouched; an
+        all-culled plan yields ``(None, None)`` (there is nothing to query).
+        """
+        sample = plan.sample
+        if plan.idx is None:
+            return sample.points_unit, sample.dirs
+        if plan.n_queried == 0:
+            return None, None
+        kept_points = arena_buffer(self.arena, "pipe/kept_points",
+                                   (plan.n_queried, 3),
+                                   sample.points_unit.dtype,
+                                   backend=self.backend)
+        self.backend.gather(sample.points_unit, plan.idx, out=kept_points)
+        kept_dirs = arena_buffer(self.arena, "pipe/kept_dirs",
+                                 (plan.n_queried, 3), sample.dirs.dtype,
+                                 backend=self.backend)
+        self.backend.gather(sample.dirs, plan.idx, out=kept_dirs)
+        return kept_points, kept_dirs
+
+    def stage_query(self, points: Optional[np.ndarray],
+                    dirs: Optional[np.ndarray]
+                    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Stage ❸b: the radiance-field query over one contiguous block.
+
+        The block need not belong to a single request — the serving layer
+        passes the concatenation of several requests' gathered samples, and
+        the fused grid engine streams it in ``max_chunk_points`` chunks
+        regardless of where request boundaries fall.
+        """
+        if points is None:
+            return None, None
+        return self.model.query(points, dirs)
+
+    def stage_composite(self, plan: CullStage, sigma: Optional[np.ndarray],
+                        rgb: Optional[np.ndarray]) -> RenderOutput:
+        """Stage ❹: scatter query results into dense planes and composite."""
+        sample = plan.sample
+        n_rays, n_samples = sample.n_rays, sample.n_samples
+        if plan.idx is None:
+            return self.renderer.forward(sigma.reshape(n_rays, n_samples),
+                                         rgb.reshape(n_rays, n_samples, 3),
+                                         sample.deltas, sample.t_vals)
+        dtype = self.policy.dtype
+        sigma_plane = arena_zeros(self.arena, "pipe/sigma_plane",
+                                  n_rays * n_samples, dtype,
+                                  backend=self.backend)
+        rgb_plane = arena_zeros(self.arena, "pipe/rgb_plane",
+                                (n_rays * n_samples, 3), dtype,
+                                backend=self.backend)
+        if plan.n_queried:
+            self.backend.scatter_rows(sigma_plane, plan.idx, sigma)
+            self.backend.scatter_rows(rgb_plane, plan.idx, rgb)
+        return self.renderer.forward(
+            sigma_plane.reshape(n_rays, n_samples),
+            rgb_plane.reshape(n_rays, n_samples, 3),
+            sample.deltas, sample.t_vals,
+        )
+
     # -- forward ----------------------------------------------------------------
     def render_rays(self, bundle: RayBundle,
                     rng: Optional[np.random.Generator] = None,
@@ -191,99 +341,33 @@ class RenderPipeline:
         ``early_termination_tau`` — forward-only, so a subsequent
         :meth:`backward_to_points` raises.
         """
-        n_rays = bundle.n_rays
-        n_samples = self.n_samples
-        dtype = self.policy.dtype
-        t_vals, deltas = stratified_samples(bundle, n_samples, rng=rng,
-                                            dtype=dtype, arena=self.arena,
-                                            backend=self.backend)
-        points, dirs = ray_points(bundle, t_vals, dtype=dtype,
-                                  arena=self.arena, backend=self.backend)
-        points_unit = normalize_points_to_unit_cube(points, self.scene_bound,
-                                                    dtype=dtype,
-                                                    arena=self.arena,
-                                                    backend=self.backend)
-
+        sample = self.stage_samples(bundle, rng=rng)
         terminating = allow_termination and self.early_termination_tau is not None
         if terminating:
             render, n_queried = self._march_terminated(
-                points_unit, dirs, t_vals, deltas, n_rays)
+                sample.points_unit, sample.dirs, sample.t_vals, sample.deltas,
+                sample.n_rays)
             self._keep_flat = None
             self._keep_idx = None
             self._backward_ok = False
-        elif self.culling_active:
-            render, n_queried = self._forward_culled(
-                points_unit, dirs, t_vals, deltas, n_rays)
-            self._backward_ok = True
         else:
-            render = self._forward_dense(points_unit, dirs, t_vals, deltas, n_rays)
-            n_queried = n_rays * n_samples
-            self._keep_flat = None
-            self._keep_idx = None
+            plan = self.stage_cull(sample)
+            points, dirs = self.stage_gather(plan)
+            sigma, rgb = self.stage_query(points, dirs)
+            render = self.stage_composite(plan, sigma, rgb)
+            n_queried = plan.n_queried
+            self._keep_flat = plan.keep_flat
+            self._keep_idx = plan.idx
             self._backward_ok = True
         return PipelineRender(
             render=render,
-            t_vals=t_vals,
-            deltas=deltas,
-            n_rays=n_rays,
-            n_samples=n_samples,
+            t_vals=sample.t_vals,
+            deltas=sample.deltas,
+            n_rays=sample.n_rays,
+            n_samples=sample.n_samples,
             n_queried=int(n_queried),
-            n_total=n_rays * n_samples,
+            n_total=sample.n_total,
             occupancy_fraction=self.occupancy_fraction,
-        )
-
-    def _forward_dense(self, points_unit, dirs, t_vals, deltas,
-                       n_rays: int) -> RenderOutput:
-        """The reference dense path (bit-identical to the pre-culling trainer)."""
-        sigma, rgb = self.model.query(points_unit, dirs)
-        sigma = sigma.reshape(n_rays, self.n_samples)
-        rgb = rgb.reshape(n_rays, self.n_samples, 3)
-        return self.renderer.forward(sigma, rgb, deltas, t_vals)
-
-    def _forward_culled(self, points_unit, dirs, t_vals, deltas,
-                        n_rays: int) -> Tuple[RenderOutput, int]:
-        """Query only occupied-cell samples and scatter into dense planes."""
-        keep = self.occupancy.filter_samples(points_unit)
-        if keep.all():
-            # Nothing to cull (e.g. before the grid's first update): take the
-            # dense path so no compaction copies are paid.
-            self._keep_flat = None
-            self._keep_idx = None
-            return (self._forward_dense(points_unit, dirs, t_vals, deltas, n_rays),
-                    keep.size)
-        self._keep_flat = keep
-        n_samples = self.n_samples
-        dtype = self.policy.dtype
-        sigma_plane = arena_zeros(self.arena, "pipe/sigma_plane",
-                                  n_rays * n_samples, dtype,
-                                  backend=self.backend)
-        rgb_plane = arena_zeros(self.arena, "pipe/rgb_plane",
-                                (n_rays * n_samples, 3), dtype,
-                                backend=self.backend)
-        idx = self.backend.flatnonzero(keep)
-        n_queried = int(idx.size)
-        if self.address_sort and n_queried:
-            idx = self._address_sorted(points_unit, idx, n_queried)
-        self._keep_idx = idx
-        if n_queried:
-            kept_points = arena_buffer(self.arena, "pipe/kept_points",
-                                       (n_queried, 3), points_unit.dtype,
-                                       backend=self.backend)
-            self.backend.gather(points_unit, idx, out=kept_points)
-            kept_dirs = arena_buffer(self.arena, "pipe/kept_dirs",
-                                     (n_queried, 3), dirs.dtype,
-                                     backend=self.backend)
-            self.backend.gather(dirs, idx, out=kept_dirs)
-            sigma, rgb = self.model.query(kept_points, kept_dirs)
-            self.backend.scatter_rows(sigma_plane, idx, sigma)
-            self.backend.scatter_rows(rgb_plane, idx, rgb)
-        return (
-            self.renderer.forward(
-                sigma_plane.reshape(n_rays, n_samples),
-                rgb_plane.reshape(n_rays, n_samples, 3),
-                deltas, t_vals,
-            ),
-            n_queried,
         )
 
     def _address_sorted(self, points_unit, idx, n_queried: int) -> np.ndarray:

@@ -1,0 +1,49 @@
+"""Multi-tenant serving: job queue, scene residency and cross-request batching.
+
+The package turns the repo's single-scene synchronous training/rendering
+stack into the service shape the ROADMAP's north star describes — many
+concurrent render and fine-tune requests sharing one engine:
+
+* :mod:`repro.serving.jobs` — the :class:`RenderJob` / :class:`TrainJob`
+  request model (scene name, priority, deadline) and the
+  :class:`JobHandle` futures clients wait on;
+* :mod:`repro.serving.residency` — the :class:`ResidencyManager`, the
+  standalone LRU checkpoint-eviction engine shared by
+  :class:`~repro.training.fleet.SceneFleet` and the service;
+* :mod:`repro.serving.batching` — cross-request ray coalescing over the
+  :class:`~repro.nerf.pipeline.RenderPipeline` stages;
+* :mod:`repro.serving.service` — the :class:`SceneService` front end owning
+  the worker threads and the request queue.
+"""
+
+from repro.serving.jobs import (
+    JobCancelled,
+    JobHandle,
+    RenderJob,
+    RenderResult,
+    TrainJob,
+    TrainResult,
+)
+from repro.serving.residency import ResidencyManager, SceneSlot, validate_scene_name
+from repro.serving.batching import (
+    DEFAULT_CHUNK_POINTS,
+    CoalescedView,
+    render_coalesced,
+)
+from repro.serving.service import SceneService
+
+__all__ = [
+    "CoalescedView",
+    "DEFAULT_CHUNK_POINTS",
+    "JobCancelled",
+    "JobHandle",
+    "RenderJob",
+    "RenderResult",
+    "ResidencyManager",
+    "SceneService",
+    "SceneSlot",
+    "TrainJob",
+    "TrainResult",
+    "render_coalesced",
+    "validate_scene_name",
+]

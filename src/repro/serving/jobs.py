@@ -1,0 +1,148 @@
+"""The serving request model: render / fine-tune jobs and their handles.
+
+A job names a scene and carries scheduling metadata; the
+:class:`~repro.serving.service.SceneService` queue orders ready jobs by
+``(priority, deadline, arrival)`` — lower priority value first (unix-nice
+convention), then earliest deadline, then submission order.  Deadlines are
+*soft*: a late job still runs, and the miss is counted in the service stats
+(and per job on its result), the usual soft-real-time serving contract.
+
+Clients hold a :class:`JobHandle` — a minimal future.  ``result()`` blocks
+until a worker finishes the job and re-raises any worker-side exception in
+the client thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nerf.cameras import PinholeCamera
+
+__all__ = [
+    "JobCancelled",
+    "JobHandle",
+    "RenderJob",
+    "RenderResult",
+    "TrainJob",
+    "TrainResult",
+]
+
+
+class JobCancelled(RuntimeError):
+    """Raised from :meth:`JobHandle.result` when the service shut down
+    before the job ran."""
+
+
+@dataclass
+class RenderJob:
+    """Render one view of a scene.
+
+    ``camera=None`` renders the scene's first test view.  ``n_samples``
+    overrides the service's per-ray sample count for this job only (jobs
+    with different sample counts are never coalesced together).
+    """
+
+    scene: str
+    camera: Optional[PinholeCamera] = None
+    n_samples: Optional[int] = None
+    priority: int = 0
+    deadline_s: Optional[float] = None    # soft deadline, seconds after submit
+
+    kind = "render"
+
+
+@dataclass
+class TrainJob:
+    """Advance a scene's trainer by ``n_steps`` iterations.
+
+    Training consumes the scene's own RNG streams, so any interleaving of
+    train jobs (and renders, which draw no training randomness) reproduces
+    the solo :class:`~repro.training.trainer.Trainer` trajectory exactly.
+    """
+
+    scene: str
+    n_steps: int = 1
+    priority: int = 0
+    deadline_s: Optional[float] = None
+
+    kind = "train"
+
+
+@dataclass
+class RenderResult:
+    """One rendered view plus its serving accounting."""
+
+    scene: str
+    colors: np.ndarray            # (H, W, 3) clipped to [0, 1]
+    depth: np.ndarray             # (H, W)
+    n_rays: int
+    n_queried: int                # field queries after occupancy culling
+    batch_size: int               # requests coalesced into this engine stream
+    queued_ms: float              # submit → dequeue
+    service_ms: float             # submit → completion
+    deadline_missed: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one fine-tune job."""
+
+    scene: str
+    iteration: int                # trainer iteration after the job
+    losses: List[float]           # per-step losses of this job's slice
+    queued_ms: float
+    service_ms: float
+    deadline_missed: bool = False
+
+
+@dataclass
+class JobHandle:
+    """Minimal future for one submitted job.
+
+    ``camera`` / ``n_rays`` are resolved by the service at submit time for
+    render jobs (default cameras filled in, ray counts precomputed so the
+    coalescer can respect its ray budget without touching job payloads).
+    """
+
+    job: object
+    seq: int
+    submitted_at: float
+    camera: Optional[PinholeCamera] = None
+    n_rays: int = 0
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _result: object = field(default=None, repr=False)
+    _error: Optional[BaseException] = field(default=None, repr=False)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the job finished; re-raise worker-side errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.seq} ({getattr(self.job, 'kind', '?')} of scene "
+                f"{getattr(self.job, 'scene', '?')!r}) did not complete "
+                f"within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    # -- worker side ----------------------------------------------------------
+    def _finish(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def sort_key(self) -> Tuple:
+        job = self.job
+        deadline = getattr(job, "deadline_s", None)
+        absolute = (self.submitted_at + deadline if deadline is not None
+                    else float("inf"))
+        return (getattr(job, "priority", 0), absolute, self.seq)

@@ -1,0 +1,347 @@
+"""The multi-tenant scene service: a job queue over shared trainers.
+
+:class:`SceneService` is the front end of the serving layer.  Clients
+submit :class:`~repro.serving.jobs.RenderJob` / fine-tune
+:class:`~repro.serving.jobs.TrainJob` requests and get back
+:class:`~repro.serving.jobs.JobHandle` futures; worker threads drain a
+``(priority, deadline, arrival)``-ordered queue, keeping each scene's
+trainer resident under the :class:`~repro.serving.residency.ResidencyManager`'s
+``max_resident_scenes`` checkpoint-eviction cap.
+
+Two engine-utilization levers from the training stack carry over:
+
+* **cross-request ray batching** — when a worker dequeues a render job it
+  also grabs every other pending render job for the *same scene* (same
+  sample count, within ``max_coalesced_rays``) and runs them as one
+  coalesced field query (:func:`~repro.serving.batching.render_coalesced`)
+  instead of per-request calls;
+* **per-worker workspace arenas** — each worker owns one
+  :class:`~repro.utils.workspace.WorkspaceArena` for its pipeline and
+  coalescer temporaries, so steady-state serving performs no large
+  allocations (buffer names are bounded: pipeline sites plus
+  ``serve/<slot>/...`` retention sites).
+
+Determinism: renders are jitter-free and consume no training RNG, so any
+mix of render and train jobs leaves every scene's training trajectory
+bit-identical to solo :class:`~repro.training.trainer.Trainer` runs — train
+jobs for one scene execute under that scene's lock in submission order
+(they never coalesce and never run concurrently with that scene's renders).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import Instant3DConfig
+from repro.datasets.dataset import SceneDataset
+from repro.nerf.cameras import PinholeCamera
+from repro.nerf.pipeline import RenderPipeline
+from repro.serving.batching import DEFAULT_CHUNK_POINTS, render_coalesced
+from repro.serving.jobs import (
+    JobCancelled,
+    JobHandle,
+    RenderJob,
+    RenderResult,
+    TrainJob,
+    TrainResult,
+)
+from repro.serving.residency import ResidencyManager
+
+__all__ = ["SceneService"]
+
+
+class SceneService:
+    """Queue-scheduled rendering and fine-tuning over a set of scenes.
+
+    Parameters
+    ----------
+    datasets:
+        Scenes this service can serve (unique names; one trainer each,
+        built lazily on first use with the shared ``config``/``seed`` so
+        trajectories match solo training).
+    config / seed:
+        Shared training configuration and base seed.
+    n_workers:
+        Worker threads draining the queue.  One worker already benefits
+        from coalescing (queued same-scene renders merge); more workers add
+        scene-level parallelism.
+    checkpoint_dir / max_resident_scenes:
+        Residency cap plumbing, exactly as on
+        :class:`~repro.training.fleet.SceneFleet`: over-cap scenes are
+        checkpointed and restored on demand (LRU victims).  Note workers
+        pin the scenes they are executing, so with more workers than the
+        cap the bound stretches to the number of busy scenes.
+    coalesce:
+        Merge pending same-scene render jobs into one engine stream
+        (``False`` = per-request dispatch, the benchmark baseline).
+    max_coalesced_rays:
+        Ray budget of one coalesced batch (the lead job always runs, even
+        if it alone exceeds the budget).
+    """
+
+    def __init__(self, datasets: Sequence[SceneDataset], config: Instant3DConfig,
+                 seed: int = 0, n_workers: int = 1,
+                 checkpoint_dir: Optional[Union[str, Path]] = None,
+                 max_resident_scenes: Optional[int] = None,
+                 coalesce: bool = True, max_coalesced_rays: int = 65536):
+        if not datasets:
+            raise ValueError("SceneService needs at least one dataset")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if max_coalesced_rays < 1:
+            raise ValueError("max_coalesced_rays must be >= 1")
+        self.config = config
+        self.seed = int(seed)
+        self.coalesce = bool(coalesce)
+        self.max_coalesced_rays = int(max_coalesced_rays)
+        self._residency = ResidencyManager(
+            config, seed=seed, checkpoint_dir=checkpoint_dir,
+            max_resident_scenes=max_resident_scenes)
+        for dataset in datasets:
+            self._residency.add_scene(dataset)
+        self._residency_lock = threading.Lock()
+        self._scene_locks: Dict[str, threading.Lock] = {
+            dataset.name: threading.Lock() for dataset in datasets}
+        self._cv = threading.Condition()
+        self._pending: List[JobHandle] = []
+        self._busy: set = set()            # scene names a worker is executing
+        self._closed = False
+        self._seq = 0
+        self._stats = {
+            "render_jobs": 0, "train_jobs": 0, "batches": 0,
+            "coalesced_jobs": 0, "max_batch_size": 0, "deadline_misses": 0,
+        }
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(index,),
+                             name=f"scene-service-{index}", daemon=True)
+            for index in range(n_workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- client API -----------------------------------------------------------
+    @property
+    def scene_names(self) -> List[str]:
+        return self._residency.scene_names
+
+    def submit(self, job) -> JobHandle:
+        """Enqueue a job and return its handle (raises if the service is
+        closed or the scene unknown)."""
+        slot = self._residency.slot(job.scene)   # validates the scene name
+        camera = None
+        n_rays = 0
+        if job.kind == "render":
+            camera = job.camera
+            if camera is None:
+                if not slot.dataset.test_views:
+                    raise ValueError(
+                        f"scene {job.scene!r} has no test views; pass an "
+                        "explicit camera on the RenderJob")
+                camera = slot.dataset.test_views[0].camera
+            n_rays = camera.n_pixels
+        elif job.kind != "train":
+            raise TypeError(f"unknown job kind {getattr(job, 'kind', None)!r}")
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed SceneService")
+            self._seq += 1
+            handle = JobHandle(job=job, seq=self._seq,
+                               submitted_at=time.perf_counter(),
+                               camera=camera, n_rays=n_rays)
+            self._pending.append(handle)
+            self._cv.notify_all()
+        return handle
+
+    def render(self, scene: str, camera: Optional[PinholeCamera] = None,
+               n_samples: Optional[int] = None, priority: int = 0,
+               deadline_s: Optional[float] = None) -> JobHandle:
+        """Convenience wrapper: submit a :class:`RenderJob`."""
+        return self.submit(RenderJob(scene=scene, camera=camera,
+                                     n_samples=n_samples, priority=priority,
+                                     deadline_s=deadline_s))
+
+    def train(self, scene: str, n_steps: int = 1, priority: int = 0,
+              deadline_s: Optional[float] = None) -> JobHandle:
+        """Convenience wrapper: submit a :class:`TrainJob`."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        return self.submit(TrainJob(scene=scene, n_steps=n_steps,
+                                    priority=priority, deadline_s=deadline_s))
+
+    def stats(self) -> Dict[str, float]:
+        """Service counters plus the residency manager's eviction stats."""
+        with self._cv:
+            counters = dict(self._stats)
+        batches = max(counters["batches"], 1)
+        out = {key: float(value) for key, value in counters.items()}
+        out["mean_batch_size"] = counters["coalesced_jobs"] / batches
+        with self._residency_lock:
+            out.update(self._residency.stats())
+        return out
+
+    def close(self, save: Optional[bool] = None) -> None:
+        """Drain the queue, stop the workers and release every trainer.
+
+        Already-submitted jobs complete; new submissions raise.  ``save``
+        is forwarded to :meth:`ResidencyManager.flush` (default: checkpoint
+        exactly when a ``checkpoint_dir`` is configured).
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        for thread in self._workers:
+            thread.join()
+        # Workers are gone; fail anything that slipped through unclaimed.
+        for handle in self._pending:
+            handle._fail(JobCancelled("service closed before the job ran"))
+        self._pending.clear()
+        with self._residency_lock:
+            self._residency.flush(save=save)
+
+    def __enter__(self) -> "SceneService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker side ----------------------------------------------------------
+    def _take_batch(self) -> Optional[List[JobHandle]]:
+        """Pick the best runnable job (+ coalescable friends); lock held."""
+        candidates = sorted(self._pending, key=JobHandle.sort_key)
+        for lead in candidates:
+            if lead.job.scene in self._busy:
+                continue
+            batch = [lead]
+            if self.coalesce and lead.job.kind == "render":
+                rays = lead.n_rays
+                for other in candidates:
+                    if other is lead or other.job.kind != "render":
+                        continue
+                    if (other.job.scene != lead.job.scene
+                            or other.job.n_samples != lead.job.n_samples
+                            or rays + other.n_rays > self.max_coalesced_rays):
+                        continue
+                    batch.append(other)
+                    rays += other.n_rays
+            for handle in batch:
+                self._pending.remove(handle)
+            self._busy.add(lead.job.scene)
+            return batch
+        return None
+
+    def _worker_loop(self, index: int) -> None:
+        backend = self.config.array_backend
+        arena = backend.make_arena() if self.config.reuse_workspace else None
+        while True:
+            with self._cv:
+                batch = None
+                while batch is None:
+                    if self._pending:
+                        batch = self._take_batch()
+                        if batch is not None:
+                            break
+                    if self._closed and not self._pending:
+                        return
+                    self._cv.wait()
+            scene = batch[0].job.scene
+            try:
+                self._execute(batch, arena)
+            finally:
+                with self._cv:
+                    self._busy.discard(scene)
+                    self._cv.notify_all()
+
+    def _execute(self, batch: List[JobHandle], arena) -> None:
+        lead = batch[0]
+        scene = lead.job.scene
+        dequeued_at = time.perf_counter()
+        try:
+            with self._scene_locks[scene]:
+                with self._cv:
+                    pinned = set(self._busy)
+                with self._residency_lock:
+                    slot = self._residency.checkout(scene, pinned=pinned)
+                if lead.job.kind == "train":
+                    self._run_train(lead, slot, dequeued_at)
+                else:
+                    self._run_renders(batch, slot, arena, dequeued_at)
+        except BaseException as exc:  # noqa: BLE001 - delivered to the client
+            for handle in batch:
+                handle._fail(exc)
+
+    def _finish_timing(self, handle: JobHandle, dequeued_at: float):
+        now = time.perf_counter()
+        queued_ms = 1e3 * (dequeued_at - handle.submitted_at)
+        service_ms = 1e3 * (now - handle.submitted_at)
+        deadline = getattr(handle.job, "deadline_s", None)
+        missed = deadline is not None and service_ms > 1e3 * deadline
+        if missed:
+            with self._cv:
+                self._stats["deadline_misses"] += 1
+        return queued_ms, service_ms, missed
+
+    def _run_train(self, handle: JobHandle, slot, dequeued_at: float) -> None:
+        job = handle.job
+        trainer = slot.trainer
+        before = len(slot.history.losses)
+        trainer.run_steps(job.n_steps, slot.history)
+        queued_ms, service_ms, missed = self._finish_timing(handle, dequeued_at)
+        with self._cv:
+            self._stats["train_jobs"] += 1
+        handle._finish(TrainResult(
+            scene=job.scene,
+            iteration=trainer.iteration,
+            losses=list(slot.history.losses[before:]),
+            queued_ms=queued_ms,
+            service_ms=service_ms,
+            deadline_missed=missed,
+        ))
+
+    def _run_renders(self, batch: List[JobHandle], slot, arena,
+                     dequeued_at: float) -> None:
+        trainer = slot.trainer
+        n_samples = (batch[0].job.n_samples
+                     if batch[0].job.n_samples is not None
+                     else self.config.n_samples_per_ray)
+        # A fresh pipeline per batch is cheap (no allocations): all heavy
+        # buffers come from the worker's arena, keyed by stable site names.
+        pipeline = RenderPipeline(
+            trainer.model, slot.dataset.scene_bound, n_samples=n_samples,
+            white_background=self.config.white_background,
+            occupancy=trainer.occupancy,
+            culling_enabled=trainer.occupancy is not None,
+            policy=trainer.policy, arena=arena, backend=trainer.backend,
+        )
+        bundles = [handle.camera.all_rays() for handle in batch]
+        views = render_coalesced(
+            pipeline, bundles, arena=arena,
+            chunk_points=self.config.max_chunk_points or DEFAULT_CHUNK_POINTS)
+        with self._cv:
+            self._stats["render_jobs"] += len(batch)
+            self._stats["batches"] += 1
+            self._stats["coalesced_jobs"] += len(batch)
+            self._stats["max_batch_size"] = max(self._stats["max_batch_size"],
+                                                len(batch))
+        for handle, view in zip(batch, views):
+            camera = handle.camera
+            queued_ms, service_ms, missed = self._finish_timing(handle,
+                                                                dequeued_at)
+            handle._finish(RenderResult(
+                scene=handle.job.scene,
+                colors=np.clip(view.colors, 0.0, 1.0).reshape(
+                    camera.height, camera.width, 3),
+                depth=view.depth.reshape(camera.height, camera.width),
+                n_rays=view.n_rays,
+                n_queried=view.n_queried,
+                batch_size=len(batch),
+                queued_ms=queued_ms,
+                service_ms=service_ms,
+                deadline_missed=missed,
+            ))

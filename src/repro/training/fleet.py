@@ -46,15 +46,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import Instant3DConfig
-from repro.core.model import DecoupledRadianceField
 from repro.datasets.dataset import SceneDataset
-from repro.io import CheckpointError, load_trainer_checkpoint, save_trainer_checkpoint
-from repro.training.trainer import (
-    Trainer,
-    TrainingHistory,
-    TrainingResult,
-    train_scene,
-)
+from repro.io import CheckpointError
+from repro.serving.residency import ResidencyManager, SceneSlot, validate_scene_name
+from repro.training.trainer import TrainingResult, train_scene
 
 
 @dataclass
@@ -70,6 +65,12 @@ class FleetResult:
     #: Trainers checkpointed to disk and dropped from memory during the run
     #: (0 unless ``max_resident_scenes`` forced evictions).
     evictions: int = 0
+    #: High-water mark of simultaneously resident trainers during the run
+    #: (0 for the process-pool schedule, which holds no in-process trainers).
+    peak_resident_scenes: int = 0
+    #: Wall time spent writing / reading scene checkpoints during the run.
+    checkpoint_save_ms: float = 0.0
+    checkpoint_load_ms: float = 0.0
 
     @property
     def n_scenes(self) -> int:
@@ -119,6 +120,10 @@ class FleetResult:
             "scenes_per_hour": self.scenes_per_hour,
             "mean_occupancy_fraction": self.mean_occupancy_fraction,
             "mean_keep_fraction": self.mean_keep_fraction,
+            "evictions": float(self.evictions),
+            "peak_resident_scenes": float(self.peak_resident_scenes),
+            "checkpoint_save_ms": self.checkpoint_save_ms,
+            "checkpoint_load_ms": self.checkpoint_load_ms,
         }
 
 
@@ -142,22 +147,15 @@ def _run_scene_job(job: _SceneJob) -> TrainingResult:
                        eval_samples=job.eval_samples)
 
 
-@dataclass
-class _SceneSlot:
+@dataclass(eq=False)
+class _SceneSlot(SceneSlot):
     """Round-robin bookkeeping for one scene.
 
-    ``trainer`` is ``None`` while the scene is evicted (or not yet started);
-    ``history`` stays in memory across evictions — only the heavy model /
-    optimiser / occupancy state is dropped.  ``on_disk`` records whether a
-    checkpoint file exists that :meth:`SceneFleet._acquire` should restore
-    from rather than starting fresh.
+    Extends the shared :class:`~repro.serving.residency.SceneSlot` (which
+    carries the residency state — trainer, history, checkpoint bookkeeping)
+    with the fleet scheduler's per-run progress fields.
     """
 
-    dataset: SceneDataset
-    trainer: Optional[Trainer] = None
-    history: Optional[TrainingHistory] = None
-    on_disk: bool = False
-    last_checkpoint_iteration: int = -1
     remaining: Optional[int] = None
     done: bool = False
 
@@ -224,14 +222,7 @@ class SceneFleet:
                 "RNG streams are derived from the scene name, so duplicates "
                 "would train on identical pixel/sample streams")
         for name in names:
-            # Names become checkpoint file names (<name>.ckpt.npz); path
-            # separators or relative components would escape checkpoint_dir.
-            if not name or name in (".", "..") or any(
-                    sep in name for sep in ("/", "\\", "\0")):
-                raise ValueError(
-                    f"scene name {name!r} is not usable as a checkpoint "
-                    "file name (empty, relative, or contains a path "
-                    "separator)")
+            validate_scene_name(name)
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1 or None")
         if max_resident_scenes is not None and max_resident_scenes < 1:
@@ -249,8 +240,17 @@ class SceneFleet:
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.max_resident_scenes = max_resident_scenes
-        #: Cumulative trainer evictions across this fleet's runs.
-        self.evictions = 0
+        # The residency mechanics (trainer build/restore, staleness-aware
+        # checkpoint saves, eviction accounting) are shared with the serving
+        # layer; the fleet keeps only its cyclic victim policy on top.
+        self._residency = ResidencyManager(
+            config, seed=seed, checkpoint_dir=self.checkpoint_dir,
+            max_resident_scenes=max_resident_scenes)
+
+    @property
+    def evictions(self) -> int:
+        """Cumulative trainer evictions across this fleet's runs."""
+        return self._residency.evictions
 
     @property
     def scene_names(self) -> List[str]:
@@ -264,56 +264,23 @@ class SceneFleet:
         return self.checkpoint_dir / f"{scene_name}.ckpt.npz"
 
     def _save_scene(self, slot: _SceneSlot) -> None:
-        save_trainer_checkpoint(
-            self.checkpoint_path(slot.dataset.name), slot.trainer,
-            history=slot.history, metadata={"seed": int(self.seed)})
-        slot.last_checkpoint_iteration = slot.trainer.iteration
-        slot.on_disk = True
+        self._residency.save(slot)
 
     def _acquire(self, slot: _SceneSlot) -> None:
         """Make the slot's trainer resident (build fresh or restore)."""
-        if slot.trainer is not None:
-            return
-        trainer = Trainer(DecoupledRadianceField(self.config, seed=self.seed),
-                          slot.dataset, config=self.config, seed=self.seed)
-        if slot.on_disk:
-            path = self.checkpoint_path(slot.dataset.name)
-            if slot.history is None:
-                # Cross-process resume: the history lives in the checkpoint.
-                slot.history = TrainingHistory()
-                metadata = load_trainer_checkpoint(path, trainer,
-                                                   history=slot.history)
-            else:
-                # Re-acquire after in-run eviction: the in-memory history is
-                # already current, only the trainer state is restored.
-                metadata = load_trainer_checkpoint(path, trainer)
-            if metadata.get("scene") != slot.dataset.name:
-                raise CheckpointError(
-                    f"checkpoint {path} was written for scene "
-                    f"{metadata.get('scene')!r}, not {slot.dataset.name!r}")
-            if metadata.get("seed") is not None and metadata["seed"] != self.seed:
-                raise CheckpointError(
-                    f"checkpoint {path} was written with seed "
-                    f"{metadata['seed']}, fleet uses seed {self.seed}")
-            slot.last_checkpoint_iteration = trainer.iteration
-        else:
-            if slot.history is None:
-                slot.history = TrainingHistory()
-            slot.last_checkpoint_iteration = trainer.iteration
-        slot.trainer = trainer
+        self._residency.acquire(slot)
 
     def _release(self, slot: _SceneSlot) -> None:
         """Drop a resident trainer whose state is already safe (or final)."""
-        slot.trainer = None
+        self._residency.release(slot)
 
     def _evict(self, slot: _SceneSlot) -> None:
-        """Checkpoint a resident trainer to disk and drop it from memory."""
-        if slot.trainer is None:
-            return
-        if not slot.on_disk or slot.trainer.iteration != slot.last_checkpoint_iteration:
-            self._save_scene(slot)
-        self._release(slot)
-        self.evictions += 1
+        """Checkpoint a resident trainer to disk and drop it from memory.
+
+        Routed through ``self._release`` so residency instrumentation that
+        wraps acquire/release observes eviction drops too.
+        """
+        self._residency.evict(slot, release=self._release)
 
     def _make_room(self, slots: List[_SceneSlot], incoming: int) -> None:
         """Evict residents so acquiring ``incoming`` stays within the cap.
@@ -322,25 +289,20 @@ class SceneFleet:
         exceeds ``max_resident_scenes`` — not even transiently during a
         slice.  Victims are chosen by distance to their next round-robin
         turn, farthest first (finished scenes count as farthest of all) —
-        the cyclic-access analogue of LRU.
+        the cyclic-access analogue of the manager's default LRU policy.
         """
-        cap = self.max_resident_scenes
-        if cap is None or slots[incoming].trainer is not None:
-            return
-        resident = [i for i, slot in enumerate(slots) if slot.trainer is not None]
-        if len(resident) < cap:
-            return
         n = len(slots)
+        order = {id(slot): index for index, slot in enumerate(slots)}
 
-        def turns_until_needed(index: int) -> int:
-            if slots[index].done:
+        def turns_until_needed(slot: _SceneSlot) -> int:
+            if slot.done:
                 return n + 1
-            return (index - incoming) % n
+            return (order[id(slot)] - incoming) % n
 
-        victims = sorted(resident, key=turns_until_needed,
-                         reverse=True)[:len(resident) - (cap - 1)]
-        for index in victims:
-            self._evict(slots[index])
+        self._residency.make_room(
+            slots[incoming], candidates=slots,
+            victim_key=lambda slot: -turns_until_needed(slot),
+            evict=self._evict)
 
     # -- scheduling strategies ----------------------------------------------
     def _jobs(self, n_iterations: int, eval_every: Optional[int],
@@ -431,7 +393,13 @@ class SceneFleet:
         if n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
         start = time.perf_counter()
-        evictions_before = self.evictions
+        residency = self._residency
+        evictions_before = residency.evictions
+        save_s_before = residency.checkpoint_save_s
+        load_s_before = residency.checkpoint_load_s
+        # Each run builds a fresh slot list (and discards the previous one),
+        # so the residency window — live count and peak — restarts at zero.
+        residency.reset_window()
         schedule = "round_robin"
         results: Optional[List[TrainingResult]] = None
         if (not resume and self.checkpoint_dir is None
@@ -452,7 +420,10 @@ class SceneFleet:
             n_workers=self.n_workers if schedule == "process_pool" else 0,
             n_iterations=n_iterations,
             schedule=schedule,
-            evictions=self.evictions - evictions_before,
+            evictions=residency.evictions - evictions_before,
+            peak_resident_scenes=residency.peak_resident,
+            checkpoint_save_ms=1e3 * (residency.checkpoint_save_s - save_s_before),
+            checkpoint_load_ms=1e3 * (residency.checkpoint_load_s - load_s_before),
         )
 
     def train(self, n_iterations: int, eval_every: Optional[int] = None,

@@ -1,0 +1,501 @@
+"""Serving-layer tests: staged pipeline differentials, residency, service.
+
+The load-bearing guarantees:
+
+* the stage-split :class:`~repro.nerf.pipeline.RenderPipeline` is
+  **bit-identical** to the PR 7 monolithic forward/backward (dense and
+  culled, float64 and float32) — enforced against a frozen in-test copy of
+  the monolith;
+* cross-request coalescing computes the same renders as per-request
+  dispatch (to BLAS-reduction tolerance);
+* the :class:`~repro.serving.residency.ResidencyManager` evicts in LRU
+  order, respects pins, and a scene evicted mid-training resumes
+  bit-identically;
+* the :class:`~repro.serving.service.SceneService` preserves solo training
+  trajectories under interleaved render+train jobs across more scenes than
+  the residency cap, coalesces same-scene renders, honours priorities and
+  propagates worker errors;
+* :class:`~repro.training.profiler.PhaseTimer` merges concurrent
+  per-thread sections without losing counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.model import DecoupledRadianceField
+from repro.datasets import make_synthetic_scene
+from repro.datasets.dataset import build_dataset
+from repro.nerf.cameras import RayBundle
+from repro.nerf.pipeline import RenderPipeline
+from repro.nerf.sampling import (
+    normalize_points_to_unit_cube,
+    ray_points,
+    stratified_samples,
+)
+from repro.nerf.volume_rendering import VolumeRenderer
+from repro.serving import (
+    JobCancelled,
+    RenderJob,
+    ResidencyManager,
+    SceneService,
+    render_coalesced,
+)
+from repro.training.fleet import SceneFleet
+from repro.training.profiler import PhaseTimer
+from repro.training.trainer import Trainer, TrainingHistory, train_scene
+
+
+# ---------------------------------------------------------------------------
+# Frozen PR 7 oracle: the monolithic render_rays forward and backward gather
+# exactly as they were before the stage split.  Deliberately arena-free (the
+# arena only changes where buffers live, not their values).
+# ---------------------------------------------------------------------------
+
+def _monolithic_forward(pipeline, bundle, rng=None):
+    """The pre-stage-split forward; returns (render, n_queried, keep_idx,
+    renderer) so the matching backward can be replayed."""
+    backend = pipeline.backend
+    dtype = pipeline.policy.dtype
+    n_rays, n_samples = bundle.n_rays, pipeline.n_samples
+    t_vals, deltas = stratified_samples(bundle, n_samples, rng=rng,
+                                        dtype=dtype, backend=backend)
+    points, dirs = ray_points(bundle, t_vals, dtype=dtype, backend=backend)
+    points_unit = normalize_points_to_unit_cube(points, pipeline.scene_bound,
+                                                dtype=dtype, backend=backend)
+    renderer = VolumeRenderer(
+        white_background=pipeline.renderer.white_background,
+        policy=pipeline.policy, backend=backend)
+    keep_idx = None
+    if pipeline.culling_active:
+        keep = pipeline.occupancy.filter_samples(points_unit)
+        if keep.all():
+            sigma, rgb = pipeline.model.query(points_unit, dirs)
+            render = renderer.forward(sigma.reshape(n_rays, n_samples),
+                                      rgb.reshape(n_rays, n_samples, 3),
+                                      deltas, t_vals)
+            return render, int(keep.size), None, renderer
+        sigma_plane = backend.zeros(n_rays * n_samples, dtype)
+        rgb_plane = backend.zeros((n_rays * n_samples, 3), dtype)
+        idx = backend.flatnonzero(keep)
+        n_queried = int(idx.size)
+        if pipeline.address_sort and n_queried:
+            idx = np.array(
+                pipeline._address_sorted(points_unit, idx, n_queried),
+                copy=True)
+        keep_idx = idx
+        if n_queried:
+            kept_points = backend.empty((n_queried, 3), points_unit.dtype)
+            backend.gather(points_unit, idx, out=kept_points)
+            kept_dirs = backend.empty((n_queried, 3), dirs.dtype)
+            backend.gather(dirs, idx, out=kept_dirs)
+            sigma, rgb = pipeline.model.query(kept_points, kept_dirs)
+            backend.scatter_rows(sigma_plane, idx, sigma)
+            backend.scatter_rows(rgb_plane, idx, rgb)
+        render = renderer.forward(sigma_plane.reshape(n_rays, n_samples),
+                                  rgb_plane.reshape(n_rays, n_samples, 3),
+                                  deltas, t_vals)
+        return render, n_queried, keep_idx, renderer
+    sigma, rgb = pipeline.model.query(points_unit, dirs)
+    render = renderer.forward(sigma.reshape(n_rays, n_samples),
+                              rgb.reshape(n_rays, n_samples, 3),
+                              deltas, t_vals)
+    return render, n_rays * n_samples, None, renderer
+
+
+def _monolithic_backward(renderer, grad_colors, keep_idx, backend):
+    grad_sigmas, grad_rgbs = renderer.backward(grad_colors)
+    if keep_idx is None:
+        return grad_sigmas.reshape(-1), grad_rgbs.reshape(-1, 3)
+    kept_sigmas = backend.empty(keep_idx.size, grad_sigmas.dtype)
+    backend.take_out(grad_sigmas.reshape(-1), keep_idx, kept_sigmas)
+    kept_rgbs = backend.empty((keep_idx.size, 3), grad_rgbs.dtype)
+    backend.gather(grad_rgbs.reshape(-1, 3), keep_idx, out=kept_rgbs)
+    return kept_sigmas, kept_rgbs
+
+
+def _make_dataset(name, image_size=10, n_train=3, n_test=1, seed=0):
+    return build_dataset(make_synthetic_scene(name), n_train_views=n_train,
+                         n_test_views=n_test, image_size=image_size,
+                         seed=seed, suite="nerf_synthetic", gt_samples=16)
+
+
+@pytest.fixture(scope="module")
+def serving_datasets():
+    return [_make_dataset(name) for name in ("lego", "chair", "drums")]
+
+
+@pytest.fixture(scope="module")
+def serving_config(request):
+    config = request.getfixturevalue("tiny_config")
+    return dataclasses.replace(config, culling_enabled=True,
+                               occupancy_warmup_iterations=4,
+                               occupancy_update_every=2)
+
+
+class TestStagedPipelineDifferential:
+    """The recomposed stages are the PR 7 monolith, bit for bit."""
+
+    @pytest.fixture(scope="class", params=["float64", "float32"])
+    def trained(self, request, tiny_config, tiny_dataset):
+        config = dataclasses.replace(
+            tiny_config, culling_enabled=True, compute_dtype=request.param,
+            occupancy_warmup_iterations=8, occupancy_update_every=4)
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        for _ in range(60):
+            trainer.train_step()
+        # The grid must genuinely cull for the compacted path to be exercised.
+        assert 0.0 < trainer.occupancy.occupancy_fraction < 1.0
+        return trainer
+
+    @pytest.mark.parametrize("culled,address_sort",
+                             [(False, False), (True, False), (True, True)],
+                             ids=["dense", "culled", "culled-sorted"])
+    def test_forward_and_backward_match_monolith(self, trained, tiny_dataset,
+                                                 culled, address_sort):
+        trainer = trained
+        pipeline = RenderPipeline(
+            trainer.model, tiny_dataset.scene_bound,
+            n_samples=trainer.config.n_samples_per_ray,
+            occupancy=trainer.occupancy if culled else None,
+            culling_enabled=culled, policy=trainer.policy,
+            arena=trainer.arena, backend=trainer.backend,
+            address_sort=address_sort)
+        bundle = tiny_dataset.test_views[0].camera.all_rays()
+        grad_colors = np.random.default_rng(7).standard_normal(
+            (bundle.n_rays, 3))
+
+        # Staged path first; copy everything out of the arena buffers.
+        out = pipeline.render_rays(bundle, rng=np.random.default_rng(5))
+        staged_colors = np.array(out.render.colors, copy=True)
+        staged_depth = np.array(out.render.depth, copy=True)
+        gs, gr = pipeline.backward_to_points(grad_colors)
+        staged_gs, staged_gr = np.array(gs, copy=True), np.array(gr, copy=True)
+
+        render, n_queried, keep_idx, renderer = _monolithic_forward(
+            pipeline, bundle, rng=np.random.default_rng(5))
+        mono_gs, mono_gr = _monolithic_backward(renderer, grad_colors,
+                                                keep_idx, pipeline.backend)
+
+        assert out.n_queried == n_queried
+        if culled:
+            assert n_queried < out.n_total       # compaction actually ran
+        np.testing.assert_array_equal(staged_colors, render.colors)
+        np.testing.assert_array_equal(staged_depth, render.depth)
+        np.testing.assert_array_equal(staged_gs, mono_gs)
+        np.testing.assert_array_equal(staged_gr, mono_gr)
+
+
+class TestCoalescedRendering:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_config, tiny_dataset):
+        config = dataclasses.replace(
+            tiny_config, culling_enabled=True,
+            occupancy_warmup_iterations=8, occupancy_update_every=4)
+        model = DecoupledRadianceField(config, seed=0)
+        trainer = Trainer(model, tiny_dataset, config=config, seed=0)
+        for _ in range(60):
+            trainer.train_step()
+        return trainer
+
+    def _pipeline(self, trainer, dataset):
+        return RenderPipeline(
+            trainer.model, dataset.scene_bound,
+            n_samples=trainer.config.n_samples_per_ray,
+            occupancy=trainer.occupancy, culling_enabled=True,
+            policy=trainer.policy, arena=trainer.arena,
+            backend=trainer.backend)
+
+    def test_matches_per_request(self, trained, tiny_dataset):
+        pipeline = self._pipeline(trained, tiny_dataset)
+        bundles = [view.camera.all_rays() for view in tiny_dataset.test_views]
+        bundles = bundles * 2                       # repeated requests too
+        views = render_coalesced(pipeline, bundles, arena=trained.arena)
+        assert len(views) == len(bundles)
+        for bundle, view in zip(bundles, views):
+            solo = pipeline.render_rays(bundle, rng=None)
+            assert view.n_queried == solo.n_queried
+            assert view.n_total == solo.n_total
+            np.testing.assert_allclose(view.colors, solo.render.colors,
+                                       rtol=0, atol=1e-8)
+            np.testing.assert_allclose(view.depth, solo.render.depth,
+                                       rtol=0, atol=1e-8)
+
+    def test_empty_and_single(self, trained, tiny_dataset):
+        pipeline = self._pipeline(trained, tiny_dataset)
+        assert render_coalesced(pipeline, [], arena=trained.arena) == []
+        bundle = tiny_dataset.test_views[0].camera.all_rays()
+        [view] = render_coalesced(pipeline, [bundle], arena=trained.arena)
+        solo = pipeline.render_rays(bundle, rng=None)
+        np.testing.assert_allclose(view.colors, solo.render.colors,
+                                   rtol=0, atol=1e-8)
+
+    def test_all_culled_requests_render_background(self, trained, tiny_dataset):
+        """A bundle whose samples are all in empty cells still composites."""
+        pipeline = self._pipeline(trained, tiny_dataset)
+        camera = tiny_dataset.test_views[0].camera
+        bundle = camera.all_rays()
+        # Aim every ray at a far corner of empty space.
+        corner = RayBundle(
+            origins=np.full_like(bundle.origins, -40.0),
+            directions=bundle.directions,
+            near=bundle.near, far=bundle.far)
+        sample = pipeline.stage_samples(corner, rng=None)
+        if pipeline.stage_cull(sample).n_queried:
+            pytest.skip("trained grid keeps boundary cells; no empty bundle")
+        views = render_coalesced(pipeline, [corner, bundle],
+                                 arena=trained.arena)
+        assert views[0].n_queried == 0
+        np.testing.assert_array_equal(views[0].colors,
+                                      np.ones_like(views[0].colors))
+        solo = pipeline.render_rays(bundle, rng=None)
+        np.testing.assert_allclose(views[1].colors, solo.render.colors,
+                                   rtol=0, atol=1e-8)
+
+
+class TestResidencyManager:
+    def test_lru_eviction_order(self, serving_datasets, serving_config,
+                                tmp_path):
+        manager = ResidencyManager(serving_config, seed=0,
+                                   checkpoint_dir=tmp_path,
+                                   max_resident_scenes=2)
+        for dataset in serving_datasets:
+            manager.add_scene(dataset)
+        lego, chair, drums = [d.name for d in serving_datasets]
+        manager.checkout(lego)
+        manager.checkout(chair)
+        manager.checkout(lego)            # touch: chair is now the LRU scene
+        manager.checkout(drums)           # over cap -> evict chair, not lego
+        assert sorted(manager.resident_names) == sorted([lego, drums])
+        assert manager.slot(chair).on_disk
+        assert manager.evictions == 1
+        manager.checkout(chair)           # LRU is now lego
+        assert sorted(manager.resident_names) == sorted([chair, drums])
+        assert manager.evictions == 2
+        assert manager.peak_resident == 2
+
+    def test_make_room_respects_pins(self, serving_datasets, serving_config,
+                                     tmp_path):
+        manager = ResidencyManager(serving_config, seed=0,
+                                   checkpoint_dir=tmp_path,
+                                   max_resident_scenes=1)
+        for dataset in serving_datasets[:2]:
+            manager.add_scene(dataset)
+        lego, chair = [d.name for d in serving_datasets[:2]]
+        manager.checkout(lego)
+        # A pinned scene is never evicted even over cap: the bound stretches.
+        manager.checkout(chair, pinned={lego})
+        assert sorted(manager.resident_names) == sorted([lego, chair])
+        assert manager.evictions == 0
+        assert manager.peak_resident == 2
+
+    def test_registry_validation(self, serving_datasets, serving_config):
+        manager = ResidencyManager(serving_config, seed=0)
+        manager.add_scene(serving_datasets[0])
+        with pytest.raises(ValueError, match="duplicate scene name"):
+            manager.add_scene(serving_datasets[0])
+        with pytest.raises(ValueError, match="unknown scene"):
+            manager.slot("no-such-scene")
+        with pytest.raises(ValueError, match="requires a checkpoint_dir"):
+            ResidencyManager(serving_config, max_resident_scenes=1)
+
+    def test_resume_after_evict_bit_identity(self, serving_datasets,
+                                             serving_config, tmp_path):
+        """Evict mid-training, continue elsewhere, come back: the trajectory
+        is the uninterrupted one, bit for bit."""
+        lego, chair = serving_datasets[0], serving_datasets[1]
+        manager = ResidencyManager(serving_config, seed=0,
+                                   checkpoint_dir=tmp_path,
+                                   max_resident_scenes=1)
+        slot_a = manager.add_scene(lego)
+        slot_b = manager.add_scene(chair)
+        manager.checkout(lego.name)
+        slot_a.trainer.run_steps(5, slot_a.history)
+        manager.checkout(chair.name)               # evicts lego mid-run
+        assert not slot_a.resident and slot_a.on_disk
+        slot_b.trainer.run_steps(5, slot_b.history)
+        manager.checkout(lego.name)                # evicts chair, restores lego
+        slot_a.trainer.run_steps(5, slot_a.history)
+        assert manager.evictions == 2
+
+        reference = train_scene(lego, serving_config, 10, seed=0,
+                                eval_views=1, eval_samples=8)
+        assert slot_a.history.losses == reference.history.losses
+        assert slot_a.trainer.iteration == 10
+
+
+class TestSceneService:
+    def test_interleaved_jobs_keep_solo_trajectories_across_cap(
+            self, serving_datasets, serving_config, tmp_path):
+        """> cap scenes, render+train interleaved: every scene's losses match
+        solo training exactly (evict/restore cycles included)."""
+        with SceneService(serving_datasets, serving_config, seed=0,
+                          n_workers=1, checkpoint_dir=tmp_path,
+                          max_resident_scenes=1) as service:
+            handles = {d.name: [] for d in serving_datasets}
+            for dataset in serving_datasets:
+                handles[dataset.name].append(
+                    service.train(dataset.name, n_steps=4))
+            renders = [service.render(d.name) for d in serving_datasets]
+            for dataset in serving_datasets:
+                handles[dataset.name].append(
+                    service.train(dataset.name, n_steps=4))
+            losses = {name: [loss for handle in hs
+                             for loss in handle.result(60).losses]
+                      for name, hs in handles.items()}
+            for handle in renders:
+                result = handle.result(60)
+                assert result.colors.shape == (10, 10, 3)
+                assert np.all(result.colors >= 0) and np.all(result.colors <= 1)
+            stats = service.stats()
+        assert stats["evictions"] > 0
+        assert stats["peak_resident_scenes"] <= 1
+        for dataset in serving_datasets:
+            reference = train_scene(dataset, serving_config, 8, seed=0,
+                                    eval_views=1, eval_samples=8)
+            assert losses[dataset.name] == reference.history.losses
+
+    def test_coalesces_same_scene_renders(self, serving_datasets,
+                                          serving_config):
+        lego, chair = serving_datasets[0], serving_datasets[1]
+        with SceneService([lego, chair], serving_config, seed=0,
+                          n_workers=1, coalesce=True) as service:
+            # Occupy the single worker so the renders queue up behind it.
+            blocker = service.train(chair.name, n_steps=30)
+            same = [service.render(lego.name, n_samples=8) for _ in range(3)]
+            other = service.render(lego.name, n_samples=4)
+            blocker.result(60)
+            batch_sizes = sorted(h.result(60).batch_size for h in same)
+            assert batch_sizes == [3, 3, 3]
+            assert other.result(60).batch_size == 1
+            stats = service.stats()
+        assert stats["max_batch_size"] == 3
+        assert stats["batches"] == 2
+
+    def test_per_request_mode_never_batches(self, serving_datasets,
+                                            serving_config):
+        lego, chair = serving_datasets[0], serving_datasets[1]
+        with SceneService([lego, chair], serving_config, seed=0,
+                          n_workers=1, coalesce=False) as service:
+            blocker = service.train(chair.name, n_steps=30)
+            handles = [service.render(lego.name) for _ in range(3)]
+            assert all(h.result(60).batch_size == 1 for h in handles)
+            blocker.result(60)
+
+    def test_priority_orders_queued_jobs(self, serving_datasets,
+                                         serving_config):
+        with SceneService(serving_datasets, serving_config, seed=0,
+                          n_workers=1) as service:
+            blocker = service.train(serving_datasets[0].name, n_steps=30)
+            low = service.render(serving_datasets[1].name, priority=5)
+            high = service.render(serving_datasets[2].name, priority=0)
+            blocker.result(60)
+            # The single worker must run the priority-0 job first even though
+            # it was submitted later; the later-run job's latency includes
+            # the earlier one's execution.
+            assert high.result(60).service_ms < low.result(60).service_ms
+
+    def test_deadline_miss_is_counted(self, serving_datasets, serving_config):
+        with SceneService(serving_datasets[:1], serving_config, seed=0,
+                          n_workers=1) as service:
+            blocker = service.train(serving_datasets[0].name, n_steps=30)
+            late = service.render(serving_datasets[0].name, deadline_s=1e-9)
+            blocker.result(60)
+            assert late.result(60).deadline_missed
+            assert service.stats()["deadline_misses"] >= 1
+
+    def test_submit_validation_and_close(self, serving_datasets,
+                                         serving_config):
+        service = SceneService(serving_datasets[:1], serving_config, seed=0,
+                               n_workers=1)
+        with pytest.raises(ValueError, match="unknown scene"):
+            service.render("no-such-scene")
+        with pytest.raises(ValueError, match="n_steps"):
+            service.train(serving_datasets[0].name, n_steps=0)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.render(serving_datasets[0].name)
+        service.close()                       # idempotent
+
+    def test_worker_error_propagates_to_client(self, serving_datasets,
+                                               serving_config):
+        with SceneService(serving_datasets[:1], serving_config, seed=0,
+                          n_workers=1) as service:
+            handle = service.submit(RenderJob(scene=serving_datasets[0].name,
+                                              n_samples=0))
+            with pytest.raises(ValueError, match="n_samples"):
+                handle.result(60)
+            # The service survives the failed job.
+            ok = service.render(serving_datasets[0].name)
+            assert ok.result(60).n_rays == 100
+
+
+class TestThreadSafePhaseTimer:
+    def test_concurrent_sections_merge(self):
+        timer = PhaseTimer()
+        barrier = threading.Barrier(2)
+
+        def record(name, calls):
+            barrier.wait()
+            for _ in range(calls):
+                with timer.phase(name):
+                    time.sleep(0.002)
+
+        workers = [threading.Thread(target=record, args=("forward", 3)),
+                   threading.Thread(target=record, args=("forward", 4))]
+        for worker in workers:
+            worker.start()
+        with timer.phase("loss"):
+            time.sleep(0.002)
+        for worker in workers:
+            worker.join()
+
+        summary = timer.summary()
+        assert summary["forward"]["calls"] == 7
+        assert summary["loss"]["calls"] == 1
+        assert summary["forward"]["seconds"] >= 7 * 0.002
+        assert timer.total_seconds() == pytest.approx(
+            sum(entry["seconds"] for entry in summary.values()))
+        assert timer.mean_ms("forward") == pytest.approx(
+            1e3 * summary["forward"]["seconds"] / 7)
+
+    def test_reset_clears_every_thread(self):
+        timer = PhaseTimer()
+
+        def record():
+            with timer.phase("forward"):
+                pass
+
+        worker = threading.Thread(target=record)
+        worker.start()
+        worker.join()
+        with timer.phase("loss"):
+            pass
+        assert timer.summary()
+        timer.reset()
+        assert timer.summary() == {}
+        assert timer.mean_ms("forward") == 0.0
+        assert timer.total_seconds() == 0.0
+
+
+class TestFleetResidencyStats:
+    def test_summary_reports_residency(self, serving_datasets, serving_config,
+                                       tmp_path):
+        fleet = SceneFleet(serving_datasets, serving_config, seed=0,
+                           slice_iterations=2, checkpoint_dir=tmp_path,
+                           max_resident_scenes=1)
+        result = fleet.train(4, eval_views=1, eval_samples=8)
+        assert result.evictions > 0
+        assert result.peak_resident_scenes == 1
+        assert result.checkpoint_save_ms > 0
+        assert result.checkpoint_load_ms > 0
+        summary = result.summary()
+        for key in ("evictions", "peak_resident_scenes",
+                    "checkpoint_save_ms", "checkpoint_load_ms"):
+            assert summary[key] == pytest.approx(getattr(result, key))
