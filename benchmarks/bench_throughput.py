@@ -65,6 +65,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import tempfile
 import threading
 import time
@@ -85,7 +86,13 @@ from repro.nerf.scheduling import RAY_SCHEDULES
 from repro.nerf.volume_rendering import VolumeRenderer
 from repro.io import load_trainer_checkpoint, save_trainer_checkpoint
 from repro.nn.optim import Adam
-from repro.serving import SceneService
+from repro.reliability import (
+    FaultInjector,
+    RetryPolicy,
+    install_injector,
+    uninstall_injector,
+)
+from repro.serving import JobPoisoned, ResidencyManager, SceneService
 from repro.training.fleet import SceneFleet
 from repro.training.metrics import evaluate_model
 from repro.training.profiler import PhaseTimer, TrainPhase
@@ -1071,6 +1078,130 @@ def bench_serving(n_clients: int, requests_per_client: int, image_size: int,
     }
 
 
+def bench_chaos(image_size: int, rounds: int, n_steps: int,
+                fault_rate: float = 0.05, fault_seed: int = 0) -> dict:
+    """Chaos drill: deterministic fault injection under mixed serving load.
+
+    Two scenes share one residency slot so every round forces checkpoint
+    save/load traffic, and seeded transient faults fire at rate
+    ``fault_rate`` on the ``checkpoint.save`` / ``checkpoint.load`` /
+    ``worker.execute`` sites.  The contract being measured is not speed but
+    *answer preservation*: every job the retry layer completes must return
+    the bit-identical result of the same schedule run fault-free.  Renders
+    run uncoalesced because coalesced and per-request renders agree only to
+    ~1e-8, and this section's whole point is exact equality.
+    """
+    datasets = nerf_synthetic_like(["lego", "ficus"], n_train_views=3,
+                                   n_test_views=1, image_size=image_size)
+    config = bench_config(0.25, 0.5)
+    # Deep attempt budget: with k fault points per attempt the chance of a
+    # job exhausting six independent draws at rate 0.05 is negligible, so
+    # availability failures indicate a retry bug, not bad luck.
+    policy = RetryPolicy(max_attempts=6, backoff_base_s=0.002,
+                         backoff_max_s=0.02)
+
+    def run(checkpoint_dir: Path, injector):
+        if injector is not None:
+            install_injector(injector)
+        try:
+            start = time.perf_counter()
+            with SceneService(datasets, config, seed=0, n_workers=1,
+                              checkpoint_dir=checkpoint_dir,
+                              max_resident_scenes=1, coalesce=False,
+                              keep_generations=2,
+                              retry_policy=policy) as service:
+                handles = []
+                for _ in range(rounds):
+                    for dataset in datasets:
+                        handles.append(service.train(dataset.name,
+                                                     n_steps=n_steps))
+                        handles.append(service.render(dataset.name))
+                results = []
+                for handle in handles:
+                    try:
+                        results.append(handle.result(timeout=600.0))
+                    except JobPoisoned:
+                        results.append(None)
+                stats = service.stats()
+            return results, stats, time.perf_counter() - start
+        finally:
+            if injector is not None:
+                uninstall_injector()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        reference, _, ref_wall = run(Path(tmp) / "ckpts", None)
+    injector = FaultInjector(seed=fault_seed)
+    for site in ("checkpoint.save", "checkpoint.load", "worker.execute"):
+        injector.add(site, "raise-transient", rate=fault_rate)
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos, stats, chaos_wall = run(Path(tmp) / "ckpts", injector)
+
+    total = len(chaos)
+    poisoned = sum(result is None for result in chaos)
+    completed = total - poisoned
+    availability = completed / max(1, total - poisoned)
+    bit_equal = poisoned == 0
+    for got, want in zip(chaos, reference):
+        if got is None:
+            continue
+        if hasattr(want, "losses"):
+            bit_equal &= (got.losses == want.losses
+                          and got.iteration == want.iteration)
+        else:
+            bit_equal &= (np.array_equal(got.colors, want.colors)
+                          and np.array_equal(got.depth, want.depth))
+
+    # Torn-write drill: truncate the newest checkpoint of an evicted scene
+    # and verify residency falls back to the previous generation instead of
+    # losing the scene.
+    with tempfile.TemporaryDirectory() as tmp:
+        manager = ResidencyManager(config, seed=0, checkpoint_dir=Path(tmp),
+                                   max_resident_scenes=1, keep_generations=2)
+        for dataset in datasets:
+            manager.add_scene(dataset)
+        first, second = datasets[0].name, datasets[1].name
+        slot = manager.checkout(first)
+        slot.trainer.run_steps(n_steps, slot.history)
+        manager.save(slot)
+        slot.trainer.run_steps(n_steps, slot.history)
+        manager.save(slot)                      # rotates older file to .g1
+        manager.checkout(second)                # evicts the first scene
+        path = manager.checkpoint_path(first)
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size // 2)
+        slot = manager.checkout(first)
+        fallback = {
+            "recovered_iteration": int(slot.trainer.iteration),
+            "expected_iteration": int(n_steps),
+            "fallback_loads": int(manager.fallback_loads),
+            "fallback_worked": bool(slot.trainer.iteration == n_steps
+                                    and manager.fallback_loads == 1),
+        }
+
+    return {
+        "image_size": image_size,
+        "rounds": rounds,
+        "n_steps": n_steps,
+        "fault_rate": fault_rate,
+        "fault_seed": fault_seed,
+        "fault_sites": ["checkpoint.save", "checkpoint.load",
+                        "worker.execute"],
+        "total_jobs": total,
+        "completed_jobs": completed,
+        "poisoned_jobs": poisoned,
+        "availability": float(availability),
+        "faults_injected": int(stats["faults_injected"]),
+        "retries": int(stats["retries"]),
+        "requeues": int(stats["requeues"]),
+        "fallback_loads": int(stats["fallback_loads"]),
+        "bit_equal_to_reference": bool(bit_equal),
+        "fault_free_wall_s": ref_wall,
+        "chaos_wall_s": chaos_wall,
+        "chaos_overhead": chaos_wall / ref_wall,
+        "generation_fallback": fallback,
+    }
+
+
 class SectionSkipped(RuntimeError):
     """Raised by a bench section that cannot run in this environment."""
 
@@ -1130,6 +1261,7 @@ def main() -> None:
         # the statistic being asserted, not just its noise.
         sched_ref_steps, sched_steps, sched_trace_steps, sched_cap = 10, 48, 4, 40000
         serve_clients, serve_requests, serve_image = 4, 8, 10
+        chaos_rounds, chaos_steps, chaos_image = 4, 2, 10
     else:
         engine_points, repeats = ENGINE_BATCH, 9
         fleet_scenes, fleet_iterations, fleet_image = 3, 80, 28
@@ -1142,6 +1274,7 @@ def main() -> None:
         backend_image, backend_steps, backend_timing = 28, 20, 10
         sched_ref_steps, sched_steps, sched_trace_steps, sched_cap = 20, 48, 4, 40000
         serve_clients, serve_requests, serve_image = 4, 12, 14
+        chaos_rounds, chaos_steps, chaos_image = 6, 3, 14
 
     engine = run_section(bench_grid_engine, engine_points, repeats)
     if not _announce_skip("Grid-query engine", engine):
@@ -1360,10 +1493,36 @@ def main() -> None:
               f"rays/render: {serving['rays_per_render']}   "
               f"max batch: {serving['batched']['max_batch_size']}")
 
+    chaos = run_section(bench_chaos, chaos_image, chaos_rounds, chaos_steps,
+                        fault_seed=int(os.environ.get("REPRO_FAULT_SEED",
+                                                      "0")))
+    if not _announce_skip("Fault-tolerant serving (chaos)", chaos):
+        print_report(
+            f"Chaos drill ({chaos['rounds']} rounds x 2 scenes, "
+            f"{chaos['image_size']}px, faults at p={chaos['fault_rate']} on "
+            f"{len(chaos['fault_sites'])} sites, seed "
+            f"{chaos['fault_seed']})",
+            ["metric", "value"],
+            [
+                ["jobs (completed/total)",
+                 f"{chaos['completed_jobs']}/{chaos['total_jobs']}"],
+                ["availability", f"{chaos['availability']:.3f}"],
+                ["faults injected", f"{chaos['faults_injected']}"],
+                ["retries / requeues",
+                 f"{chaos['retries']} / {chaos['requeues']}"],
+                ["poisoned jobs", f"{chaos['poisoned_jobs']}"],
+                ["bit-equal to fault-free run",
+                 f"{chaos['bit_equal_to_reference']}"],
+                ["chaos overhead (wall)", f"{chaos['chaos_overhead']:.2f}x"],
+                ["generation fallback recovered",
+                 f"{chaos['generation_fallback']['fallback_worked']}"],
+            ],
+        )
+
     payload = {"engine": engine, "culling": culling, "fleet": fleet,
                "checkpoint": checkpoint, "precision": precision,
                "sparse": sparse, "backends": backends,
-               "scheduling": scheduling, "serving": serving,
+               "scheduling": scheduling, "serving": serving, "chaos": chaos,
                "smoke": bool(args.smoke)}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nWrote {args.output}")

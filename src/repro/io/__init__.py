@@ -14,9 +14,14 @@ from repro.io.checkpoint import (
     CHECKPOINT_MIN_VERSION,
     CHECKPOINT_VERSION,
     Checkpoint,
+    CheckpointCorruptError,
     CheckpointError,
+    CheckpointIOStats,
+    generation_path,
+    io_stats,
     load_checkpoint,
     load_trainer_checkpoint,
+    reset_io_stats,
     save_checkpoint,
     save_trainer_checkpoint,
 )
@@ -26,9 +31,14 @@ __all__ = [
     "CHECKPOINT_MIN_VERSION",
     "CHECKPOINT_VERSION",
     "Checkpoint",
+    "CheckpointCorruptError",
     "CheckpointError",
+    "CheckpointIOStats",
+    "generation_path",
+    "io_stats",
     "load_checkpoint",
     "load_trainer_checkpoint",
+    "reset_io_stats",
     "save_checkpoint",
     "save_trainer_checkpoint",
 ]

@@ -18,6 +18,22 @@ on:
 * ``int`` scalars of any magnitude round-trip exactly (JSON integers are
   unbounded), which covers PCG64's 128-bit state words.
 
+Integrity and fault tolerance (see ``docs/reliability.md``):
+
+* every array member's CRC32 is recorded in the manifest under
+  ``"digests"`` at save and verified on load; a mismatch (or an unreadable
+  archive) raises :class:`CheckpointCorruptError`.  Digest-less files from
+  older checkpoints still load — with a :class:`UserWarning` and a bump of
+  the ``legacy_digestless_loads`` counter in :func:`io_stats`;
+* ``save_checkpoint(..., keep_generations=N)`` rotates the previous file
+  to ``path.g1`` (and ``.g1`` to ``.g2``, ...) before the atomic replace,
+  keeping the newest ``N`` snapshots;
+* when the primary file is corrupt (or missing) and generation files
+  exist, :func:`load_checkpoint` quarantines the bad file (renamed to
+  ``*.corrupt``) and falls back to the newest generation that verifies,
+  so a torn write degrades the scene to its previous snapshot instead of
+  losing it.
+
 Layered on the generic :func:`save_checkpoint` / :func:`load_checkpoint`
 pair are trainer-level helpers used by
 :class:`~repro.training.fleet.SceneFleet` for preemptible scheduling:
@@ -31,15 +47,21 @@ trainer so the run continues bit-identically.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
-from dataclasses import dataclass, field
+import threading
+import warnings
+import zipfile
+import zlib
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.backend import materialize
+from repro.reliability.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.training.trainer import Trainer, TrainingHistory
@@ -66,8 +88,54 @@ _ARRAY_KEY = "__npz__"
 PathLike = Union[str, Path]
 
 
+#: Upper bound on the generation chain, purely a sanity cap.
+_MAX_GENERATIONS = 64
+#: Serialises the per-process temp-name counter.
+_TMP_COUNTER = itertools.count()
+
+
 class CheckpointError(RuntimeError):
     """A checkpoint file is missing, malformed, or of an unsupported version."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file exists but fails integrity verification.
+
+    Raised for unreadable archives, undecodable manifests and CRC32 digest
+    mismatches — the failures a torn write or silent media corruption
+    produces.  Structural problems (wrong kind, unsupported version) stay
+    plain :class:`CheckpointError`: they are caller bugs, not data loss,
+    and must not trigger generation fallback.
+    """
+
+
+@dataclass
+class CheckpointIOStats:
+    """Process-wide counters for the integrity/fallback machinery."""
+
+    fallback_loads: int = 0
+    quarantined_files: int = 0
+    legacy_digestless_loads: int = 0
+
+
+_IO_STATS = CheckpointIOStats()
+
+
+def io_stats() -> CheckpointIOStats:
+    """A snapshot copy of the process-wide checkpoint I/O counters.
+
+    Counters are cumulative for the process; callers that need deltas
+    (e.g. :class:`~repro.serving.residency.ResidencyManager`) snapshot
+    before and after an operation.
+    """
+    return replace(_IO_STATS)
+
+
+def reset_io_stats() -> None:
+    """Zero the process-wide counters (test isolation helper)."""
+    _IO_STATS.fallback_loads = 0
+    _IO_STATS.quarantined_files = 0
+    _IO_STATS.legacy_digestless_loads = 0
 
 
 @dataclass
@@ -78,6 +146,59 @@ class Checkpoint:
     kind: str
     version: int
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: 0 when the primary file verified; ``k`` when the load fell back to
+    #: the ``path.g{k}`` generation after quarantining newer candidates.
+    fallback_generation: int = 0
+
+
+def _array_digest(array: np.ndarray) -> int:
+    """CRC32 over the array's raw bytes (C-contiguous view)."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def generation_path(path: PathLike, k: int) -> Path:
+    """The ``k``-th retained generation of ``path`` (``k >= 1``)."""
+    path = Path(path)
+    return path.with_name(f"{path.name}.g{k}")
+
+
+def _list_generations(path: Path) -> List[Path]:
+    """Existing generation files, newest (``.g1``) first."""
+    out: List[Path] = []
+    for k in range(1, _MAX_GENERATIONS + 1):
+        candidate = generation_path(path, k)
+        if not candidate.exists():
+            break
+        out.append(candidate)
+    return out
+
+
+def _rotate_generations(path: Path, keep_generations: int) -> None:
+    """Shift ``path -> .g1 -> .g2 -> ...`` keeping the newest generations.
+
+    Callers serialise saves per path (the service holds the scene lock),
+    so the rotation itself needs no locking.
+    """
+    oldest = generation_path(path, keep_generations - 1)
+    if oldest.exists():
+        oldest.unlink()
+    for k in range(keep_generations - 2, 0, -1):
+        source = generation_path(path, k)
+        if source.exists():
+            os.replace(source, generation_path(path, k + 1))
+    os.replace(path, generation_path(path, 1))
+
+
+def _quarantine(path: Path) -> Path:
+    """Rename a corrupt file to ``*.corrupt`` (uniquified) for post-mortems."""
+    target = path.with_name(f"{path.name}.corrupt")
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = path.with_name(f"{path.name}.corrupt{suffix}")
+    os.replace(path, target)
+    _IO_STATS.quarantined_files += 1
+    return target
 
 
 def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
@@ -135,7 +256,8 @@ def _unflatten(node: Any, data) -> Any:
 
 def save_checkpoint(path: PathLike, payload: Dict[str, Any], *,
                     kind: str = "state",
-                    metadata: Optional[Dict[str, Any]] = None) -> Path:
+                    metadata: Optional[Dict[str, Any]] = None,
+                    keep_generations: int = 1) -> Path:
     """Write ``payload`` (a nested dict of arrays and scalars) to ``path``.
 
     ``kind`` tags what the payload holds (e.g. ``"trainer"``) and is checked
@@ -149,7 +271,19 @@ def save_checkpoint(path: PathLike, payload: Dict[str, Any], *,
     truncates an existing checkpoint — readers see either the old snapshot
     or the new one, which is what lets the fleet checkpoint on a cadence
     without a window where the only recoverable state is a partial file.
+    The temp name embeds pid, thread id and a monotonic counter, so
+    concurrent saves of the same path from different threads never collide
+    on the temp file.
+
+    The manifest records a CRC32 digest per array member, verified by
+    :func:`load_checkpoint`.  With ``keep_generations=N`` (N > 1) the
+    previous file is rotated to ``path.g1`` (``.g1`` to ``.g2``, ...)
+    before the replace, so a later corruption of the primary file can fall
+    back to an older verified snapshot.
     """
+    if not 1 <= keep_generations <= _MAX_GENERATIONS:
+        raise ValueError(f"keep_generations must be in "
+                         f"[1, {_MAX_GENERATIONS}], got {keep_generations}")
     path = Path(path)
     arrays: Dict[str, np.ndarray] = {}
     tree = _flatten(payload, arrays, "")
@@ -159,43 +293,51 @@ def save_checkpoint(path: PathLike, payload: Dict[str, Any], *,
         "kind": str(kind),
         "metadata": _flatten(metadata or {}, arrays, "metadata"),
         "payload": tree,
+        "digests": {key: _array_digest(array)
+                    for key, array in arrays.items()},
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp_path = path.parent / f".{path.name}.tmp{os.getpid()}"
+    tmp_path = path.parent / (f".{path.name}.tmp{os.getpid()}-"
+                              f"{threading.get_ident()}-{next(_TMP_COUNTER)}")
     try:
         with open(tmp_path, "wb") as handle:
             np.savez(handle, **{_MANIFEST_KEY: np.array(json.dumps(manifest))},
                      **arrays)
+        if keep_generations > 1 and path.exists():
+            _rotate_generations(path, keep_generations)
         os.replace(tmp_path, path)
     finally:
         if tmp_path.exists():
             tmp_path.unlink()
+    # After the replace: raise-kinds model a post-write failure (the retry
+    # harmlessly re-saves the same state); truncate/corrupt kinds model a
+    # torn write of the final file and drive the generation-fallback path.
+    fault_point("checkpoint.save", path)
     return path
 
 
-def load_checkpoint(path: PathLike, *,
-                    expected_kind: Optional[str] = None) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`.
+def _read_verified(path: Path, expected_kind: Optional[str]) -> Checkpoint:
+    """Read one file and verify its integrity digests.
 
-    Raises :class:`CheckpointError` if the file is not a repro checkpoint,
-    its version is newer than this library understands, or ``expected_kind``
-    does not match the stored kind.
+    Corruption-class failures (unreadable archive, undecodable manifest,
+    digest mismatch, dangling array reference) raise
+    :class:`CheckpointCorruptError`; structural mismatches (format, version,
+    kind) stay :class:`CheckpointError`.
     """
-    path = Path(path)
-    if not path.exists():
-        raise CheckpointError(f"checkpoint file not found: {path}")
     try:
         archive = np.load(path, allow_pickle=False)
-    except (OSError, ValueError) as exc:
-        raise CheckpointError(f"could not read checkpoint {path}: {exc}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointCorruptError(
+            f"could not read checkpoint {path}: {exc}") from exc
     with archive as data:
         if _MANIFEST_KEY not in data.files:
-            raise CheckpointError(f"{path} is not a repro checkpoint "
-                                  f"(missing {_MANIFEST_KEY})")
+            raise CheckpointCorruptError(
+                f"{path} is not a repro checkpoint (missing {_MANIFEST_KEY})")
         try:
             manifest = json.loads(str(data[_MANIFEST_KEY][()]))
-        except json.JSONDecodeError as exc:
-            raise CheckpointError(f"corrupt manifest in {path}: {exc}") from exc
+        except (json.JSONDecodeError, OSError, ValueError, zlib.error) as exc:
+            raise CheckpointCorruptError(
+                f"corrupt manifest in {path}: {exc}") from exc
         if manifest.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointError(
                 f"{path} has unknown format {manifest.get('format')!r}")
@@ -211,14 +353,88 @@ def load_checkpoint(path: PathLike, *,
             raise CheckpointError(
                 f"{path} holds a {kind!r} checkpoint, expected "
                 f"{expected_kind!r}")
+        # Materialise every member once: digest verification and
+        # _unflatten share the decompressed arrays.
+        members: Dict[str, np.ndarray] = {}
         try:
-            payload = _unflatten(manifest["payload"], data)
-            metadata = _unflatten(manifest.get("metadata", {}), data)
+            for key in data.files:
+                if key != _MANIFEST_KEY:
+                    members[key] = data[key]
+        except (OSError, ValueError, zlib.error, EOFError,
+                zipfile.BadZipFile) as exc:
+            raise CheckpointCorruptError(
+                f"corrupt array member in {path}: {exc}") from exc
+        digests = manifest.get("digests")
+        if digests is None:
+            _IO_STATS.legacy_digestless_loads += 1
+            warnings.warn(
+                f"checkpoint {path} predates per-array integrity digests; "
+                f"loading without verification (re-save to add digests)",
+                UserWarning, stacklevel=3)
+        else:
+            for key, expected in digests.items():
+                if key not in members:
+                    raise CheckpointCorruptError(
+                        f"corrupt checkpoint {path}: digest manifest lists "
+                        f"member {key!r} but the archive lacks it")
+                if _array_digest(members[key]) != int(expected):
+                    raise CheckpointCorruptError(
+                        f"corrupt checkpoint {path}: CRC32 mismatch on "
+                        f"array member {key!r}")
+        try:
+            payload = _unflatten(manifest["payload"], members)
+            metadata = _unflatten(manifest.get("metadata", {}), members)
         except (KeyError, ValueError) as exc:
-            raise CheckpointError(
+            raise CheckpointCorruptError(
                 f"corrupt checkpoint {path}: {exc}") from exc
     return Checkpoint(payload=payload, kind=kind, version=version,
                       metadata=metadata)
+
+
+def load_checkpoint(path: PathLike, *,
+                    expected_kind: Optional[str] = None,
+                    fallback_generations: bool = True) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` if the file is not a repro checkpoint,
+    its version is newer than this library understands, or ``expected_kind``
+    does not match the stored kind; :class:`CheckpointCorruptError` if the
+    file fails integrity verification.
+
+    When the primary file is corrupt (or missing) and ``path.g1``,
+    ``path.g2``, ... generation files exist (``fallback_generations=True``,
+    the default), the bad file is quarantined (renamed ``*.corrupt``) and
+    the newest generation that verifies is returned instead, with
+    :attr:`Checkpoint.fallback_generation` recording which one.  Without
+    generation files the original error propagates and nothing is renamed.
+    """
+    path = Path(path)
+    fault_point("checkpoint.load", path)
+    generations = _list_generations(path) if fallback_generations else []
+    if not path.exists() and not generations:
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    primary_error: Optional[CheckpointCorruptError] = None
+    if path.exists():
+        try:
+            return _read_verified(path, expected_kind)
+        except CheckpointCorruptError as exc:
+            if not generations:
+                raise
+            primary_error = exc
+            _quarantine(path)
+    for k, gen_path in enumerate(generations, start=1):
+        try:
+            checkpoint = _read_verified(gen_path, expected_kind)
+        except CheckpointCorruptError:
+            _quarantine(gen_path)
+            continue
+        _IO_STATS.fallback_loads += 1
+        checkpoint.fallback_generation = k
+        return checkpoint
+    raise CheckpointCorruptError(
+        f"checkpoint {path} is corrupt and none of its "
+        f"{len(generations)} retained generation(s) verified"
+    ) from primary_error
 
 
 # -- trainer-level helpers ----------------------------------------------------
@@ -227,7 +443,8 @@ TRAINER_KIND = "trainer"
 
 def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
                             history: Optional["TrainingHistory"] = None,
-                            metadata: Optional[Dict[str, Any]] = None) -> Path:
+                            metadata: Optional[Dict[str, Any]] = None,
+                            keep_generations: int = 1) -> Path:
     """Checkpoint one trainer (and optionally its history) to a single file.
 
     The snapshot restores bit-identically: model parameters, both optimiser
@@ -244,7 +461,8 @@ def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
     if metadata:
         meta.update(metadata)
     return save_checkpoint(path, {"trainer": trainer.state_dict(history=history)},
-                           kind=TRAINER_KIND, metadata=meta)
+                           kind=TRAINER_KIND, metadata=meta,
+                           keep_generations=keep_generations)
 
 
 def load_trainer_checkpoint(path: PathLike, trainer: "Trainer",

@@ -1,0 +1,40 @@
+"""Reliability toolkit: deterministic fault injection and retry policy.
+
+* :mod:`repro.reliability.faults` — the seeded :class:`FaultInjector`,
+  the :func:`fault_point` production hooks, and the
+  :class:`TransientFault` / :class:`PermanentFault` error taxonomy;
+* :mod:`repro.reliability.retry` — the :class:`RetryPolicy` used by
+  :class:`~repro.serving.service.SceneService` to requeue failed jobs
+  with deterministic exponential backoff.
+
+See ``docs/reliability.md`` for the fault-site table and the end-to-end
+fault-tolerance contract.
+"""
+
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    PermanentFault,
+    TransientFault,
+    fault_injection,
+    fault_point,
+    get_injector,
+    install_injector,
+    uninstall_injector,
+)
+from repro.reliability.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "PermanentFault",
+    "RetryPolicy",
+    "TransientFault",
+    "fault_injection",
+    "fault_point",
+    "get_injector",
+    "install_injector",
+    "uninstall_injector",
+]

@@ -1,0 +1,75 @@
+"""Retry policy: transient-vs-permanent classification and deterministic backoff.
+
+The policy is pure data + pure functions — it never sleeps and never looks
+at a clock, so the :class:`~repro.serving.service.SceneService` can turn
+its delays into ``not_before`` timestamps on queued jobs and keep worker
+threads responsive (they wait on the queue condition variable, not in
+``time.sleep``).
+
+Classification contract
+-----------------------
+*transient* — worth retrying: :class:`OSError` (which covers
+:class:`~repro.reliability.faults.TransientFault`) and
+:class:`TimeoutError`.  These model flaky I/O: the same operation
+re-executed a moment later is expected to succeed.
+
+*permanent* — retrying cannot help: everything else, explicitly including
+:class:`~repro.reliability.faults.PermanentFault`, validation errors
+(``ValueError``/``TypeError``) and
+:class:`~repro.io.checkpoint.CheckpointCorruptError` (by the time that
+escapes, generation fallback has already been exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Type
+
+from repro.reliability.faults import PermanentFault
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed job and how long to wait between tries.
+
+    ``max_attempts`` counts *executions*, so ``max_attempts=1`` disables
+    retries entirely.  Backoff is deterministic (no jitter): attempt ``k``
+    (1-based) failed -> wait ``min(backoff_max_s,
+    backoff_base_s * backoff_factor**(k - 1))`` before attempt ``k + 1``.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    transient_types: Tuple[Type[BaseException], ...] = (OSError, TimeoutError)
+    permanent_types: Tuple[Type[BaseException], ...] = (PermanentFault,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def classify(self, error: BaseException) -> str:
+        """``"transient"`` or ``"permanent"``.  Permanent types win ties."""
+        if isinstance(error, self.permanent_types):
+            return "permanent"
+        if isinstance(error, self.transient_types):
+            return "transient"
+        return "permanent"
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before the retry that follows failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        return min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** (attempt - 1))
+
+    def should_retry(self, error: BaseException, attempts: int) -> bool:
+        """True when ``error`` is transient and attempts remain."""
+        return attempts < self.max_attempts and self.classify(error) == "transient"

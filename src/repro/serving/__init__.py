@@ -17,8 +17,11 @@ concurrent render and fine-tune requests sharing one engine:
 """
 
 from repro.serving.jobs import (
+    DeadlineExceeded,
     JobCancelled,
     JobHandle,
+    JobPoisoned,
+    QueueFull,
     RenderJob,
     RenderResult,
     TrainJob,
@@ -35,8 +38,11 @@ from repro.serving.service import SceneService
 __all__ = [
     "CoalescedView",
     "DEFAULT_CHUNK_POINTS",
+    "DeadlineExceeded",
     "JobCancelled",
     "JobHandle",
+    "JobPoisoned",
+    "QueueFull",
     "RenderJob",
     "RenderResult",
     "ResidencyManager",

@@ -4,27 +4,37 @@ A job names a scene and carries scheduling metadata; the
 :class:`~repro.serving.service.SceneService` queue orders ready jobs by
 ``(priority, deadline, arrival)`` — lower priority value first (unix-nice
 convention), then earliest deadline, then submission order.  Deadlines are
-*soft*: a late job still runs, and the miss is counted in the service stats
-(and per job on its result), the usual soft-real-time serving contract.
+**enforced** by default: a job whose deadline already passed when a worker
+would dequeue it is *shed* — failed with :class:`DeadlineExceeded` without
+running — so an overloaded service stops burning compute on answers nobody
+can use.  With ``SceneService(shed_expired=False)`` deadlines revert to the
+soft contract: a late job still runs and the miss is only counted (in the
+service stats and per job on its result).
 
 Clients hold a :class:`JobHandle` — a minimal future.  ``result()`` blocks
 until a worker finishes the job and re-raises any worker-side exception in
-the client thread.
+the client thread.  ``cancel()`` withdraws a job that is still queued.
+Failed jobs may be retried by the service's
+:class:`~repro.reliability.retry.RetryPolicy` before the handle resolves;
+``attempts`` / ``not_before`` / ``solo`` are the retry bookkeeping.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nerf.cameras import PinholeCamera
 
 __all__ = [
+    "DeadlineExceeded",
     "JobCancelled",
     "JobHandle",
+    "JobPoisoned",
+    "QueueFull",
     "RenderJob",
     "RenderResult",
     "TrainJob",
@@ -33,8 +43,24 @@ __all__ = [
 
 
 class JobCancelled(RuntimeError):
-    """Raised from :meth:`JobHandle.result` when the service shut down
-    before the job ran."""
+    """Raised from :meth:`JobHandle.result` when the service shut down —
+    or the client cancelled the job — before it ran."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The job's deadline had already passed when a worker went to run it,
+    so the service shed it without executing (``shed_expired=True``)."""
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`~repro.serving.service.SceneService.submit` when
+    ``max_queue_depth`` admission control rejects a new job."""
+
+
+class JobPoisoned(RuntimeError):
+    """The job failed (or crashed its worker) on every permitted attempt
+    and was quarantined instead of being retried again.  The last
+    underlying error is chained as ``__cause__``."""
 
 
 @dataclass
@@ -50,7 +76,8 @@ class RenderJob:
     camera: Optional[PinholeCamera] = None
     n_samples: Optional[int] = None
     priority: int = 0
-    deadline_s: Optional[float] = None    # soft deadline, seconds after submit
+    deadline_s: Optional[float] = None    # seconds after submit; expired
+                                          # jobs are shed by default
 
     kind = "render"
 
@@ -113,12 +140,36 @@ class JobHandle:
     submitted_at: float
     camera: Optional[PinholeCamera] = None
     n_rays: int = 0
+    #: executions so far (bumped on each failure; retries keep the handle).
+    attempts: int = 0
+    #: earliest dequeue time (perf_counter) — the retry backoff clock.
+    not_before: float = 0.0
+    #: re-queued batch-mates run individually, never coalesced again.
+    solo: bool = False
+    #: first-attempt targets so a retried train job runs exactly the
+    #: remaining steps (bit-exact continuation).
+    target_iteration: Optional[int] = field(default=None, repr=False)
+    history_before: Optional[int] = field(default=None, repr=False)
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: object = field(default=None, repr=False)
     _error: Optional[BaseException] = field(default=None, repr=False)
+    _canceller: Optional[Callable[["JobHandle"], bool]] = field(
+        default=None, repr=False)
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Withdraw the job if it is still queued.
+
+        Returns True when the job was removed from the queue (``result()``
+        then raises :class:`JobCancelled`).  Cancelling a job that is
+        already running, finished, or being retried in-flight is a no-op
+        returning False — in-flight work is never interrupted.
+        """
+        if self._canceller is None or self.done():
+            return False
+        return self._canceller(self)
 
     def result(self, timeout: Optional[float] = None):
         """Block until the job finished; re-raise worker-side errors."""
@@ -146,3 +197,8 @@ class JobHandle:
         absolute = (self.submitted_at + deadline if deadline is not None
                     else float("inf"))
         return (getattr(job, "priority", 0), absolute, self.seq)
+
+    def expired(self, now: float) -> bool:
+        """True when the job's absolute deadline lies in the past."""
+        deadline = getattr(self.job, "deadline_s", None)
+        return deadline is not None and now > self.submitted_at + deadline

@@ -31,7 +31,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 from repro.core.config import Instant3DConfig
 from repro.core.model import DecoupledRadianceField
 from repro.datasets.dataset import SceneDataset
-from repro.io import CheckpointError, load_trainer_checkpoint, save_trainer_checkpoint
+from repro.io import (CheckpointError, io_stats, load_trainer_checkpoint,
+                      save_trainer_checkpoint)
+from repro.reliability.faults import fault_point
 from repro.training.trainer import Trainer, TrainingHistory
 
 __all__ = ["ResidencyManager", "SceneSlot", "validate_scene_name"]
@@ -94,6 +96,10 @@ class ResidencyManager:
     max_resident_scenes:
         Upper bound on simultaneously resident trainers.  ``None`` means
         unbounded (no eviction; the manager still tracks residency stats).
+    keep_generations:
+        Checkpoint generations retained per scene (``N > 1`` rotates the
+        previous file to ``<scene>.ckpt.npz.g1`` etc. on save, enabling
+        :func:`~repro.io.load_checkpoint`'s corruption fallback).
 
     The manager is not thread-safe by itself — the service serialises all
     calls behind one lock, and the fleet is single-threaded.
@@ -101,7 +107,8 @@ class ResidencyManager:
 
     def __init__(self, config: Instant3DConfig, seed: int = 0,
                  checkpoint_dir: Optional[Union[str, Path]] = None,
-                 max_resident_scenes: Optional[int] = None):
+                 max_resident_scenes: Optional[int] = None,
+                 keep_generations: int = 1):
         if max_resident_scenes is not None and max_resident_scenes < 1:
             raise ValueError("max_resident_scenes must be >= 1 or None")
         if max_resident_scenes is not None and checkpoint_dir is None:
@@ -111,6 +118,7 @@ class ResidencyManager:
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.max_resident_scenes = max_resident_scenes
+        self.keep_generations = int(keep_generations)
         self._slots: Dict[str, SceneSlot] = {}
         self._clock = 0
         self._resident = 0
@@ -122,6 +130,9 @@ class ResidencyManager:
         self.checkpoint_loads = 0
         self.checkpoint_save_s = 0.0
         self.checkpoint_load_s = 0.0
+        #: Restores served from an older generation after the primary
+        #: checkpoint failed verification (see ``docs/reliability.md``).
+        self.fallback_loads = 0
 
     # -- scene registry (service path) ---------------------------------------
     def add_scene(self, dataset: SceneDataset) -> SceneSlot:
@@ -169,7 +180,8 @@ class ResidencyManager:
         start = time.perf_counter()
         save_trainer_checkpoint(
             self.checkpoint_path(slot.name), slot.trainer,
-            history=slot.history, metadata={"seed": int(self.seed)})
+            history=slot.history, metadata={"seed": int(self.seed)},
+            keep_generations=self.keep_generations)
         self.checkpoint_save_s += time.perf_counter() - start
         self.checkpoint_saves += 1
         slot.last_checkpoint_iteration = slot.trainer.iteration
@@ -195,6 +207,7 @@ class ResidencyManager:
         if slot.on_disk:
             path = self.checkpoint_path(slot.name)
             start = time.perf_counter()
+            fallbacks_before = io_stats().fallback_loads
             if slot.history is None:
                 # Cross-process resume: the history lives in the checkpoint.
                 slot.history = TrainingHistory()
@@ -206,6 +219,7 @@ class ResidencyManager:
                 metadata = load_trainer_checkpoint(path, trainer)
             self.checkpoint_load_s += time.perf_counter() - start
             self.checkpoint_loads += 1
+            self.fallback_loads += io_stats().fallback_loads - fallbacks_before
             if metadata.get("scene") != slot.name:
                 raise CheckpointError(
                     f"checkpoint {path} was written for scene "
@@ -278,6 +292,7 @@ class ResidencyManager:
 
     def checkout(self, name: str, pinned: Iterable[str] = ()) -> SceneSlot:
         """Make a registered scene resident, evicting LRU scenes as needed."""
+        fault_point("residency.checkout")
         slot = self.slot(name)
         self.make_room(slot, pinned=pinned)
         self.acquire(slot)
@@ -319,4 +334,5 @@ class ResidencyManager:
             "checkpoint_loads": float(self.checkpoint_loads),
             "checkpoint_save_ms": 1e3 * self.checkpoint_save_s,
             "checkpoint_load_ms": 1e3 * self.checkpoint_load_s,
+            "fallback_loads": float(self.fallback_loads),
         }

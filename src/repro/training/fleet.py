@@ -200,13 +200,19 @@ class SceneFleet:
         ``checkpoint_dir``).  Over-cap scenes are checkpointed to disk and
         reloaded on their next slice, bounding memory to
         ``max_resident_scenes`` models regardless of fleet size.
+    keep_generations:
+        Checkpoint generations retained per scene (``N > 1`` rotates the
+        previous file to ``<scene>.ckpt.npz.g1`` etc., so a torn write can
+        fall back to an older verified snapshot — see
+        ``docs/reliability.md``).
     """
 
     def __init__(self, datasets: Sequence[SceneDataset], config: Instant3DConfig,
                  seed: int = 0, n_workers: int = 0, slice_iterations: int = 25,
                  checkpoint_every: Optional[int] = None,
                  checkpoint_dir: Optional[Union[str, Path]] = None,
-                 max_resident_scenes: Optional[int] = None):
+                 max_resident_scenes: Optional[int] = None,
+                 keep_generations: int = 1):
         if not datasets:
             raise ValueError("SceneFleet needs at least one dataset")
         if slice_iterations < 1:
@@ -245,7 +251,8 @@ class SceneFleet:
         # layer; the fleet keeps only its cyclic victim policy on top.
         self._residency = ResidencyManager(
             config, seed=seed, checkpoint_dir=self.checkpoint_dir,
-            max_resident_scenes=max_resident_scenes)
+            max_resident_scenes=max_resident_scenes,
+            keep_generations=keep_generations)
 
     @property
     def evictions(self) -> int:

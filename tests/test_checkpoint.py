@@ -25,7 +25,9 @@ from repro.datasets import nerf_synthetic_like
 from repro.grid.hash_encoding import HashGridConfig, MultiResHashGrid
 from repro.io import (
     CHECKPOINT_VERSION,
+    CheckpointCorruptError,
     CheckpointError,
+    generation_path,
     load_checkpoint,
     load_trainer_checkpoint,
     save_checkpoint,
@@ -136,6 +138,29 @@ class TestCheckpointFile:
         save_checkpoint(path, {"x": 2}, kind="test")
         assert load_checkpoint(path).payload == {"x": 2}
         assert list(tmp_path.iterdir()) == [path]   # no temp files left
+
+    def test_bit_flip_is_caught_by_digest_verification(self, tmp_path):
+        # Flip one byte inside the archive: either the zip-member CRC or the
+        # manifest digest check must refuse to return silently wrong arrays.
+        path = save_checkpoint(tmp_path / "s.npz",
+                               {"w": np.arange(256, dtype=np.float64)},
+                               kind="test")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, expected_kind="test")
+
+    def test_generation_rotation_and_validation(self, tmp_path):
+        path = tmp_path / "s.npz"
+        save_checkpoint(path, {"v": 1}, kind="test", keep_generations=2)
+        save_checkpoint(path, {"v": 2}, kind="test", keep_generations=2)
+        save_checkpoint(path, {"v": 3}, kind="test", keep_generations=2)
+        assert load_checkpoint(path).payload["v"] == 3
+        assert load_checkpoint(generation_path(path, 1)).payload["v"] == 2
+        assert not generation_path(path, 2).exists()
+        with pytest.raises(ValueError):
+            save_checkpoint(path, {"v": 4}, kind="test", keep_generations=0)
 
 
 class TestComponentStateDicts:

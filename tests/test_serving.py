@@ -401,9 +401,23 @@ class TestSceneService:
             # the earlier one's execution.
             assert high.result(60).service_ms < low.result(60).service_ms
 
-    def test_deadline_miss_is_counted(self, serving_datasets, serving_config):
+    def test_expired_deadline_is_shed_by_default(self, serving_datasets,
+                                                 serving_config):
+        from repro.serving import DeadlineExceeded
+
         with SceneService(serving_datasets[:1], serving_config, seed=0,
                           n_workers=1) as service:
+            blocker = service.train(serving_datasets[0].name, n_steps=30)
+            late = service.render(serving_datasets[0].name, deadline_s=1e-9)
+            blocker.result(60)
+            with pytest.raises(DeadlineExceeded):
+                late.result(60)
+            assert service.stats()["shed"] >= 1
+
+    def test_deadline_miss_is_counted_when_shedding_disabled(
+            self, serving_datasets, serving_config):
+        with SceneService(serving_datasets[:1], serving_config, seed=0,
+                          n_workers=1, shed_expired=False) as service:
             blocker = service.train(serving_datasets[0].name, n_steps=30)
             late = service.render(serving_datasets[0].name, deadline_s=1e-9)
             blocker.result(60)
