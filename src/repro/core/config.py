@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.backend import (ArrayBackend, available_backends,
                            default_backend_name, get_backend)
 from repro.grid.hash_encoding import HashGridConfig
+from repro.reliability.health import HealthPolicy
 from repro.utils.precision import PRECISION_NAMES, PrecisionPolicy, resolve_policy
 
 #: Valid ``ray_schedule`` values.  Kept as a local tuple (rather than
@@ -185,6 +187,13 @@ class Instant3DConfig:
     #: is bit-identical to the reference; ``"numba"`` registers only when
     #: numba is importable.
     backend: str = field(default_factory=default_backend_name)
+    #: Numerical-health guardrails (see
+    #: :class:`~repro.reliability.health.HealthPolicy`): divergence
+    #: detection wired into every train step plus snapshot-and-rollback
+    #: recovery.  ``None`` (the default) disables the watchdog entirely —
+    #: the trainer then runs the exact pre-health code path, and guards-on
+    #: runs that never trip are bit-identical to it.
+    health: Optional[HealthPolicy] = None
 
     def __post_init__(self) -> None:
         if self.compute_dtype not in PRECISION_NAMES:
@@ -207,14 +216,26 @@ class Instant3DConfig:
             raise ValueError("occupancy_update_every must be >= 1")
         if self.occupancy_warmup_iterations < 0:
             raise ValueError("occupancy_warmup_iterations must be >= 0")
+        # Ordered comparisons alone let NaN through (NaN < 0 is False), so
+        # the numeric knobs that feed straight into training arithmetic are
+        # checked for finiteness explicitly — a NaN here would otherwise
+        # surface hundreds of iterations later as a diverged run.
+        if not (math.isfinite(self.learning_rate) and self.learning_rate > 0.0):
+            raise ValueError(
+                f"learning_rate must be finite and > 0, "
+                f"got {self.learning_rate}")
         if not (0.0 < self.occupancy_decay < 1.0):
             raise ValueError("occupancy_decay must be in (0, 1)")
         if self.occupancy_refresh_samples < 1:
             raise ValueError("occupancy_refresh_samples must be >= 1")
-        if self.occupancy_threshold < 0.0:
-            raise ValueError("occupancy_threshold must be non-negative")
+        if not (math.isfinite(self.occupancy_threshold)
+                and self.occupancy_threshold >= 0.0):
+            raise ValueError(
+                f"occupancy_threshold must be finite and non-negative, "
+                f"got {self.occupancy_threshold}")
         if self.early_termination_tau is not None and not (
-                0.0 < self.early_termination_tau < 1.0):
+                math.isfinite(self.early_termination_tau)
+                and 0.0 < self.early_termination_tau < 1.0):
             raise ValueError("early_termination_tau must be in (0, 1) or None")
         if self.ray_schedule not in _RAY_SCHEDULES:
             raise ValueError(

@@ -22,7 +22,9 @@ from repro.datasets.scene import (
     Sphere,
 )
 from repro.datasets.renderer import GroundTruthRenderer
-from repro.datasets.dataset import SceneDataset, RenderedView, build_dataset
+from repro.datasets.dataset import (SceneDataset, RenderedView, build_dataset,
+                                    DatasetValidationError, validate_dataset,
+                                    validate_view)
 from repro.datasets.synthetic import NERF_SYNTHETIC_SCENES, make_synthetic_scene, nerf_synthetic_like
 from repro.datasets.silvr import SILVR_SCENES, make_silvr_scene, silvr_like
 from repro.datasets.scannet import SCANNET_SCENES, make_scannet_scene, scannet_like
@@ -38,6 +40,9 @@ __all__ = [
     "SceneDataset",
     "RenderedView",
     "build_dataset",
+    "DatasetValidationError",
+    "validate_dataset",
+    "validate_view",
     "NERF_SYNTHETIC_SCENES",
     "make_synthetic_scene",
     "nerf_synthetic_like",

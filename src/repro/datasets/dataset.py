@@ -1,4 +1,4 @@
-"""Posed-view dataset container and builder."""
+"""Posed-view dataset container, builder and input validation."""
 
 from __future__ import annotations
 
@@ -21,6 +21,73 @@ class RenderedView:
     camera: PinholeCamera
     rgb: np.ndarray
     depth: np.ndarray
+
+
+class DatasetValidationError(ValueError):
+    """A dataset's views or intrinsics are malformed (non-finite, bad shape)."""
+
+
+def validate_view(view: RenderedView, label: str = "view",
+                  direction_tolerance: float = 1e-6) -> None:
+    """Validate one posed view's image, depth and camera intrinsics.
+
+    Checks, in order: image/depth shapes match the camera's pixel grid;
+    pixel and depth values are finite; the camera pose is finite with
+    ``focal > 0``; and the pose's rotation block is orthonormal (within
+    ``direction_tolerance``).  The ray generator re-normalizes direction
+    *lengths*, so a sheared or scaled rotation block would not blow up —
+    it would silently bend every ray's orientation instead, which is why
+    the block itself is checked rather than the emitted rays.  Raises
+    :class:`DatasetValidationError` naming the offending view.
+    """
+    camera = view.camera
+    rgb = np.asarray(view.rgb)
+    expected = (camera.height, camera.width, 3)
+    if rgb.shape != expected:
+        raise DatasetValidationError(
+            f"{label}: rgb shape {rgb.shape} does not match the camera's "
+            f"{expected}")
+    if not np.isfinite(rgb).all():
+        raise DatasetValidationError(f"{label}: rgb image has non-finite pixels")
+    if view.depth is not None:
+        depth = np.asarray(view.depth)
+        if depth.shape != (camera.height, camera.width):
+            raise DatasetValidationError(
+                f"{label}: depth shape {depth.shape} does not match the "
+                f"camera's {(camera.height, camera.width)}")
+        if not np.isfinite(depth).all():
+            raise DatasetValidationError(
+                f"{label}: depth map has non-finite values")
+    if not np.isfinite(np.asarray(camera.pose)).all():
+        raise DatasetValidationError(f"{label}: camera pose has non-finite "
+                                     f"entries")
+    if not (np.isfinite(camera.focal) and camera.focal > 0):
+        raise DatasetValidationError(
+            f"{label}: focal length must be finite and > 0, "
+            f"got {camera.focal}")
+    rotation = np.asarray(camera.pose, dtype=np.float64)[:3, :3]
+    gram_error = float(np.max(np.abs(rotation.T @ rotation - np.eye(3))))
+    if gram_error > direction_tolerance:
+        raise DatasetValidationError(
+            f"{label}: pose rotation block is not orthonormal "
+            f"(max |R^T R - I| = {gram_error:.2e}); a sheared or scaled "
+            f"pose bends every ray direction the camera emits")
+
+
+def validate_dataset(dataset: "SceneDataset") -> "SceneDataset":
+    """Validate every view of ``dataset``; return it for call chaining.
+
+    Loader-facing entry point: ``scannet_like`` / ``silvr_like`` run it on
+    their rendered output so malformed input fails at load time with a
+    named view instead of surfacing as a NaN hundreds of iterations into
+    training.
+    """
+    for split, views in (("train", dataset.train_views),
+                         ("test", dataset.test_views)):
+        for index, view in enumerate(views):
+            validate_view(view,
+                          label=f"{dataset.name}: {split} view {index}")
+    return dataset
 
 
 @dataclass

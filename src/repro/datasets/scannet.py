@@ -14,7 +14,8 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.datasets.dataset import RenderedView, SceneDataset
+from repro.datasets.dataset import (RenderedView, SceneDataset,
+                                    validate_dataset)
 from repro.datasets.renderer import GroundTruthRenderer
 from repro.datasets.scene import AnalyticScene, Box, Cylinder, Sphere, checker_color
 from repro.nerf.cameras import PinholeCamera
@@ -153,12 +154,12 @@ def scannet_like(scenes: Optional[Iterable[str]] = None, n_train_views: int = 12
             return views
 
         datasets.append(
-            SceneDataset(
+            validate_dataset(SceneDataset(
                 name=name,
                 scene=scene,
                 train_views=render_split(n_train_views, "train"),
                 test_views=render_split(n_test_views, "test"),
                 suite="scannet",
-            )
+            ))
         )
     return datasets

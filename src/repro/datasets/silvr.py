@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.datasets.dataset import SceneDataset, build_dataset
+from repro.datasets.dataset import SceneDataset, build_dataset, validate_dataset
 from repro.datasets.scene import (
     AnalyticScene,
     Box,
@@ -107,8 +107,10 @@ def silvr_like(scenes: Optional[Iterable[str]] = None, n_train_views: int = 12,
     for name in names:
         scene = make_silvr_scene(name)
         datasets.append(
-            build_dataset(scene, n_train_views=n_train_views, n_test_views=n_test_views,
-                          image_size=image_size, seed=seed, suite="silvr",
-                          camera_radius=1.9 * scene.scene_bound)
+            validate_dataset(
+                build_dataset(scene, n_train_views=n_train_views,
+                              n_test_views=n_test_views,
+                              image_size=image_size, seed=seed, suite="silvr",
+                              camera_radius=1.9 * scene.scene_bound))
         )
     return datasets

@@ -17,6 +17,7 @@ from repro.io.checkpoint import (
     CheckpointCorruptError,
     CheckpointError,
     CheckpointIOStats,
+    NonFiniteCheckpointError,
     generation_path,
     io_stats,
     load_checkpoint,
@@ -34,6 +35,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
     "CheckpointIOStats",
+    "NonFiniteCheckpointError",
     "generation_path",
     "io_stats",
     "load_checkpoint",

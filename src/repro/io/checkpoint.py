@@ -98,6 +98,17 @@ class CheckpointError(RuntimeError):
     """A checkpoint file is missing, malformed, or of an unsupported version."""
 
 
+class NonFiniteCheckpointError(CheckpointError):
+    """Refused to persist a state tree containing non-finite values.
+
+    Raised by :func:`save_checkpoint` (unless ``allow_non_finite=True``)
+    when any floating array leaf holds a NaN or infinity.  A checkpoint is
+    the durable copy of a scene — persisting a numerically poisoned state
+    would outlive the diverged run and re-poison every later restore, so
+    the refusal is the default.
+    """
+
+
 class CheckpointCorruptError(CheckpointError):
     """A checkpoint file exists but fails integrity verification.
 
@@ -201,12 +212,16 @@ def _quarantine(path: Path) -> Path:
     return target
 
 
-def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
+def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str,
+             allow_non_finite: bool = True) -> Any:
     """Split a state tree into a JSON-able skeleton and an array table.
 
     Leaves are materialised to host numpy first, so state trees holding a
     non-numpy backend's native arrays checkpoint to the same
-    backend-agnostic npz format (restore works under any backend).
+    backend-agnostic npz format (restore works under any backend).  With
+    ``allow_non_finite=False``, floating leaves (arrays and scalars) are
+    additionally screened for NaN/inf and refused with
+    :class:`NonFiniteCheckpointError`.
     """
     node = materialize(node)
     if isinstance(node, np.ndarray):
@@ -216,11 +231,17 @@ def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
             raise CheckpointError(
                 f"object-dtype arrays cannot be checkpointed "
                 f"(at {path or '<root>'})")
+        if not allow_non_finite and np.issubdtype(node.dtype, np.floating) \
+                and not np.isfinite(node).all():
+            raise NonFiniteCheckpointError(
+                f"refusing to persist non-finite array at "
+                f"{path or '<root>'} (pass allow_non_finite=True to "
+                f"override for post-mortem dumps)")
         key = f"a{len(arrays)}"
         arrays[key] = node
         return {_ARRAY_KEY: key}
     if isinstance(node, np.generic):           # numpy scalar: keep its dtype
-        return _flatten(np.asarray(node), arrays, path)
+        return _flatten(np.asarray(node), arrays, path, allow_non_finite)
     if isinstance(node, dict):
         out = {}
         for key, value in node.items():
@@ -232,12 +253,19 @@ def _flatten(node: Any, arrays: Dict[str, np.ndarray], path: str) -> Any:
                 raise CheckpointError(
                     f"{_ARRAY_KEY!r} is reserved by the checkpoint format "
                     f"(at {path or '<root>'})")
-            out[key] = _flatten(value, arrays, f"{path}.{key}" if path else key)
+            out[key] = _flatten(value, arrays, f"{path}.{key}" if path else key,
+                                allow_non_finite)
         return out
     if isinstance(node, (list, tuple)):
-        return [_flatten(value, arrays, f"{path}[{i}]")
+        return [_flatten(value, arrays, f"{path}[{i}]", allow_non_finite)
                 for i, value in enumerate(node)]
     if node is None or isinstance(node, (bool, int, float, str)):
+        if not allow_non_finite and isinstance(node, float) \
+                and not np.isfinite(node):
+            raise NonFiniteCheckpointError(
+                f"refusing to persist non-finite scalar at "
+                f"{path or '<root>'} (pass allow_non_finite=True to "
+                f"override for post-mortem dumps)")
         return node
     raise CheckpointError(
         f"unsupported type {type(node).__name__} at {path or '<root>'}")
@@ -257,7 +285,8 @@ def _unflatten(node: Any, data) -> Any:
 def save_checkpoint(path: PathLike, payload: Dict[str, Any], *,
                     kind: str = "state",
                     metadata: Optional[Dict[str, Any]] = None,
-                    keep_generations: int = 1) -> Path:
+                    keep_generations: int = 1,
+                    allow_non_finite: bool = False) -> Path:
     """Write ``payload`` (a nested dict of arrays and scalars) to ``path``.
 
     ``kind`` tags what the payload holds (e.g. ``"trainer"``) and is checked
@@ -280,13 +309,18 @@ def save_checkpoint(path: PathLike, payload: Dict[str, Any], *,
     previous file is rotated to ``path.g1`` (``.g1`` to ``.g2``, ...)
     before the replace, so a later corruption of the primary file can fall
     back to an older verified snapshot.
+
+    Non-finite floating values in the payload are **refused** by default
+    (:class:`NonFiniteCheckpointError`) — a NaN-poisoned state must not
+    become the scene's durable copy.  ``allow_non_finite=True`` overrides
+    the screen for deliberate post-mortem dumps.
     """
     if not 1 <= keep_generations <= _MAX_GENERATIONS:
         raise ValueError(f"keep_generations must be in "
                          f"[1, {_MAX_GENERATIONS}], got {keep_generations}")
     path = Path(path)
     arrays: Dict[str, np.ndarray] = {}
-    tree = _flatten(payload, arrays, "")
+    tree = _flatten(payload, arrays, "", allow_non_finite)
     manifest = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
@@ -444,7 +478,8 @@ TRAINER_KIND = "trainer"
 def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
                             history: Optional["TrainingHistory"] = None,
                             metadata: Optional[Dict[str, Any]] = None,
-                            keep_generations: int = 1) -> Path:
+                            keep_generations: int = 1,
+                            allow_non_finite: bool = False) -> Path:
     """Checkpoint one trainer (and optionally its history) to a single file.
 
     The snapshot restores bit-identically: model parameters, both optimiser
@@ -462,7 +497,8 @@ def save_trainer_checkpoint(path: PathLike, trainer: "Trainer",
         meta.update(metadata)
     return save_checkpoint(path, {"trainer": trainer.state_dict(history=history)},
                            kind=TRAINER_KIND, metadata=meta,
-                           keep_generations=keep_generations)
+                           keep_generations=keep_generations,
+                           allow_non_finite=allow_non_finite)
 
 
 def load_trainer_checkpoint(path: PathLike, trainer: "Trainer",

@@ -38,6 +38,18 @@ Fault kinds
     Sleep ``delay_s`` seconds — models a slow disk or scheduling stall;
     used to make timing-sensitive tests (queue-full, deadline shed)
     deterministic.
+``corrupt-grad`` / ``corrupt-param``
+    Poison one seeded element of every array the site passes via
+    ``arrays=`` with NaN — models a numerically diverging step (the
+    hazard the ``repro.reliability.health`` watchdog exists to catch).
+    The two kinds are identical mechanically; the split keeps specs
+    self-describing about *which* tensor family (gradients at
+    ``train.backward``, parameters at ``optimizer.step``) they target.
+    No-ops when the site passes no arrays.
+
+Sites are registered in :data:`FAULT_SITES`; :meth:`FaultInjector.add`
+rejects unknown site names so a typo'd spec fails loudly instead of
+silently never firing.
 """
 
 from __future__ import annotations
@@ -55,14 +67,17 @@ from repro.utils.seeding import derive_seed
 
 __all__ = [
     "FAULT_KINDS",
+    "FAULT_SITES",
     "FaultInjector",
     "FaultSpec",
     "PermanentFault",
     "TransientFault",
     "fault_injection",
     "fault_point",
+    "fault_sites",
     "get_injector",
     "install_injector",
+    "register_fault_site",
     "uninstall_injector",
 ]
 
@@ -72,7 +87,39 @@ FAULT_KINDS = (
     "truncate-file",
     "corrupt-bytes",
     "delay",
+    "corrupt-grad",
+    "corrupt-param",
 )
+
+#: Array-poisoning kinds: side effects (never raise), applied to the
+#: ``arrays=`` a site passes.
+_ARRAY_KINDS = ("corrupt-grad", "corrupt-param")
+
+# Every fault_point() site in the codebase.  add() validates against this
+# so a typo'd site fails at arm time instead of silently never firing.
+FAULT_SITES = {
+    "checkpoint.save": "after an atomic checkpoint write lands",
+    "checkpoint.load": "before a checkpoint generation is read",
+    "residency.checkout": "when a worker checks a scene slot out",
+    "worker.execute": "around a service job's execution body",
+    "worker.crash": "inside the worker loop, outside job handling",
+    "train.backward": "after gradients are scattered into parameters",
+    "optimizer.step": "after both optimizers apply their updates",
+}
+
+
+def register_fault_site(site: str, description: str = "") -> None:
+    """Register a new ``fault_point`` site so specs may target it.
+
+    Production modules adding a fault point must register its name here
+    (at import time) or :meth:`FaultInjector.add` will reject specs for it.
+    """
+    FAULT_SITES[site] = description
+
+
+def fault_sites() -> Dict[str, str]:
+    """Mapping of registered site name -> one-line description."""
+    return dict(FAULT_SITES)
 
 
 class TransientFault(OSError):
@@ -136,9 +183,18 @@ class FaultInjector:
     def add(self, site: str, kind: str = "raise-transient", *,
             rate: float = 1.0, after: int = 0, times: Optional[int] = None,
             delay_s: float = 0.0) -> FaultSpec:
-        """Arm a fault at ``site`` and return the spec for later inspection."""
+        """Arm a fault at ``site`` and return the spec for later inspection.
+
+        ``site`` must be registered in :data:`FAULT_SITES` (see
+        :func:`register_fault_site`): a typo'd site would otherwise arm a
+        spec that silently never fires.
+        """
         spec = FaultSpec(site=site, kind=kind, rate=rate, after=after,
                          times=times, delay_s=delay_s)
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; registered sites: "
+                f"{sorted(FAULT_SITES)} (see register_fault_site)")
         with self._lock:
             index = len(self._specs)
             self._specs.append(spec)
@@ -146,11 +202,13 @@ class FaultInjector:
                 derive_seed(self.seed, f"fault:{site}:{kind}:{index}")))
         return spec
 
-    def fire(self, site: str, path: Optional[os.PathLike] = None) -> None:
+    def fire(self, site: str, path: Optional[os.PathLike] = None,
+             arrays: Optional[List[np.ndarray]] = None) -> None:
         """Evaluate every spec armed at ``site``; apply the first that triggers.
 
-        Side-effect kinds (truncate/corrupt/delay) do not stop evaluation of
-        later specs, but at most one *raising* spec fires per call.
+        Side-effect kinds (truncate/corrupt/delay/corrupt-grad/corrupt-param)
+        do not stop evaluation of later specs, but at most one *raising*
+        spec fires per call.
         """
         actions: List[FaultSpec] = []
         with self._lock:
@@ -178,6 +236,8 @@ class FaultInjector:
                 _truncate_file(path)
             elif spec.kind == "corrupt-bytes":
                 self._corrupt_bytes(path)
+            elif spec.kind in _ARRAY_KINDS:
+                self._corrupt_arrays(arrays)
             elif raising is None:
                 raising = spec
         if raising is not None:
@@ -204,6 +264,39 @@ class FaultInjector:
             original = handle.read(span)
             handle.seek(offset)
             handle.write(bytes(b ^ 0xFF for b in original))
+
+    def _corrupt_arrays(self, arrays: Optional[List[np.ndarray]]) -> None:
+        """Poison one seeded element of *every* passed array with NaN.
+
+        Corrupting every array (rather than one seeded pick) guarantees the
+        poison lands in live state: at a site like ``train.backward`` a
+        single pick could hit a stale branch's buffer that this iteration's
+        optimizer step never reads, and the injected fault would vanish.
+        Element choice is seeded from ``(seed, faults_injected)`` so the
+        schedule replays exactly under a fixed ``REPRO_FAULT_SEED``.
+        """
+        if not arrays:
+            return
+        with self._lock:
+            rng = np.random.default_rng(
+                derive_seed(self.seed, f"corrupt-array:{self.faults_injected}"))
+        for array in arrays:
+            if array.size == 0 or not np.issubdtype(array.dtype, np.floating):
+                continue
+            # .flat assigns in place even on non-contiguous views.
+            array.flat[int(rng.integers(0, array.size))] = np.nan
+
+    def sites(self) -> Dict[str, int]:
+        """Registered sites mapped to how many specs target each.
+
+        Lists *every* registered site (count 0 when nothing is armed), so
+        tests can discover valid targets without grepping the source.
+        """
+        with self._lock:
+            out = {site: 0 for site in FAULT_SITES}
+            for spec in self._specs:
+                out[spec.site] = out.get(spec.site, 0) + 1
+        return out
 
     def counts(self) -> Dict[str, int]:
         """Per-site trigger counts plus the ``total``."""
@@ -259,13 +352,18 @@ def fault_injection(injector: FaultInjector) -> Iterator[FaultInjector]:
         uninstall_injector()
 
 
-def fault_point(site: str, path: Optional[os.PathLike] = None) -> None:
+def fault_point(site: str, path: Optional[os.PathLike] = None,
+                arrays: Optional[List[np.ndarray]] = None) -> None:
     """Production-side hook: inject whatever is armed at ``site``.
 
     A no-op (one global read) when no injector is installed.  ``path``
-    gives file-mutating kinds (truncate/corrupt) something to chew on.
+    gives file-mutating kinds (truncate/corrupt) something to chew on;
+    ``arrays`` gives the array-poisoning kinds (corrupt-grad /
+    corrupt-param) their targets.  Callers should build the ``arrays``
+    list only when :func:`get_injector` is non-``None`` so the disabled
+    hot path stays a single global read.
     """
     injector = _INJECTOR
     if injector is None:
         return
-    injector.fire(site, path)
+    injector.fire(site, path, arrays)

@@ -336,3 +336,18 @@ class ResidencyManager:
             "checkpoint_load_ms": 1e3 * self.checkpoint_load_s,
             "fallback_loads": float(self.fallback_loads),
         }
+
+    def health_stats(self) -> Dict[str, float]:
+        """Numerical-health counters summed over every scene's history.
+
+        Histories live on the slots and survive eviction, so the sums
+        cover evicted scenes too — no trainer needs re-materialising.
+        """
+        totals = {"guard_trips": 0, "rollbacks": 0,
+                  "lr_backoffs": 0, "batch_skips": 0}
+        for slot in self._slots.values():
+            if slot.history is None:  # slot created but never acquired
+                continue
+            for name in totals:
+                totals[name] += getattr(slot.history, name)
+        return {name: float(value) for name, value in totals.items()}

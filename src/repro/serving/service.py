@@ -60,6 +60,7 @@ from repro.datasets.dataset import SceneDataset
 from repro.nerf.cameras import PinholeCamera
 from repro.nerf.pipeline import RenderPipeline
 from repro.reliability.faults import fault_point, get_injector
+from repro.reliability.health import NumericalFault
 from repro.reliability.retry import RetryPolicy
 from repro.serving.batching import DEFAULT_CHUNK_POINTS, render_coalesced
 from repro.serving.jobs import (
@@ -171,6 +172,11 @@ class SceneService:
             "retries": 0, "requeues": 0, "shed": 0, "poisoned": 0,
             "cancelled": 0, "workers_respawned": 0,
         }
+        #: Scenes quarantined by a NumericalFault: training diverged past
+        #: the rollback budget.  Submissions for them are rejected up
+        #: front — the divergence is deterministic, so re-running the job
+        #: would poison the scene identically.
+        self._poisoned_scenes: set = set()
         self._workers = [
             threading.Thread(target=self._worker_main, args=(index,),
                              name=f"scene-service-{index}", daemon=True)
@@ -187,6 +193,12 @@ class SceneService:
     def submit(self, job) -> JobHandle:
         """Enqueue a job and return its handle (raises if the service is
         closed, the scene unknown, or the queue full)."""
+        with self._cv:
+            if job.scene in self._poisoned_scenes:
+                raise JobPoisoned(
+                    f"scene {job.scene!r} is quarantined: its training "
+                    f"diverged past the rollback budget (NumericalFault); "
+                    f"further jobs would replay the same divergence")
         with self._residency_lock:
             # Workers mutate residency state in checkout(); even the
             # read-only slot lookup must serialise behind the same lock.
@@ -253,14 +265,17 @@ class SceneService:
         """Service counters plus the residency manager's eviction stats."""
         with self._cv:
             counters = dict(self._stats)
+            poisoned_scenes = len(self._poisoned_scenes)
         batches = max(counters["batches"], 1)
         out = {key: float(value) for key, value in counters.items()}
         out["mean_batch_size"] = counters["coalesced_jobs"] / batches
+        out["poisoned_scenes"] = float(poisoned_scenes)
         injector = get_injector()
         out["faults_injected"] = (float(injector.faults_injected)
                                   if injector is not None else 0.0)
         with self._residency_lock:
             out.update(self._residency.stats())
+            out.update(self._residency.health_stats())
         return out
 
     def close(self, save: Optional[bool] = None) -> None:
@@ -457,7 +472,18 @@ class SceneService:
         now = time.perf_counter()
         with self._cv:
             lead.attempts += 1
-            if policy.should_retry(error, lead.attempts):
+            if isinstance(error, NumericalFault):
+                # Training diverged past the rollback budget.  The fault is
+                # deterministic (same seed => same divergence), so the
+                # *scene* is quarantined, not just the job: map it to
+                # JobPoisoned here and reject future submissions up front.
+                self._poisoned_scenes.add(lead.job.scene)
+                self._stats["poisoned"] += 1
+                poisoned = JobPoisoned(
+                    f"scene {lead.job.scene!r} poisoned: {error}")
+                poisoned.__cause__ = error
+                lead._fail(poisoned)
+            elif policy.should_retry(error, lead.attempts):
                 lead.not_before = now + policy.backoff_s(lead.attempts)
                 self._stats["retries"] += 1
                 self._pending.append(lead)

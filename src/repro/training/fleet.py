@@ -109,6 +109,22 @@ class FleetResult:
     def result_for(self, scene_name: str) -> TrainingResult:
         return self.results[self.scene_names.index(scene_name)]
 
+    # -- numerical-health ledger (zeros when guards were disabled) ---------
+    @property
+    def guard_trips(self) -> int:
+        """Divergence-guard trips summed over every scene's run."""
+        return int(sum(r.guard_trips for r in self.results))
+
+    @property
+    def rollbacks(self) -> int:
+        """Snapshot rollbacks performed fleet-wide."""
+        return int(sum(r.rollbacks for r in self.results))
+
+    @property
+    def lr_backoffs(self) -> int:
+        """LR backoffs applied while recovering, fleet-wide."""
+        return int(sum(r.lr_backoffs for r in self.results))
+
     def summary(self) -> Dict[str, float]:
         """Scalar summary used by benchmark reports."""
         return {
@@ -124,6 +140,9 @@ class FleetResult:
             "peak_resident_scenes": float(self.peak_resident_scenes),
             "checkpoint_save_ms": self.checkpoint_save_ms,
             "checkpoint_load_ms": self.checkpoint_load_ms,
+            "guard_trips": float(self.guard_trips),
+            "rollbacks": float(self.rollbacks),
+            "lr_backoffs": float(self.lr_backoffs),
         }
 
 

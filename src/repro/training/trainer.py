@@ -35,6 +35,14 @@ from repro.nerf.occupancy import OccupancyGrid
 from repro.nerf.pipeline import RenderPipeline
 from repro.nerf.scheduling import make_scheduler
 from repro.nn.optim import Adam
+from repro.reliability.faults import fault_point, get_injector
+from repro.reliability.health import (
+    GuardTrip,
+    HealthMonitor,
+    NumericalFault,
+    all_finite,
+)
+from repro.reliability.rollback import SnapshotRing
 from repro.training.metrics import EvaluationResult, evaluate_model
 from repro.training.profiler import PhaseTimer, TrainPhase
 from repro.utils.seeding import derive_rng, derive_seed, get_rng_state, set_rng_state
@@ -60,6 +68,15 @@ class TrainingHistory:
     eval_iterations: List[int] = field(default_factory=list)
     eval_rgb_psnrs: List[float] = field(default_factory=list)
     eval_depth_psnrs: List[float] = field(default_factory=list)
+    #: Numerical-health counters, mirrored from the trainer's
+    #: :class:`~repro.reliability.health.HealthMonitor` (all zero when
+    #: guards are disabled).  Living on the history keeps them visible
+    #: through eviction: ``SceneService.stats()`` and fleet summaries read
+    #: them here without re-materialising the trainer.
+    guard_trips: int = 0
+    rollbacks: int = 0
+    lr_backoffs: int = 0
+    batch_skips: int = 0
 
     def record_step(self, iteration: int, loss: float, batch_psnr: float,
                     queries_kept: Optional[int] = None,
@@ -102,6 +119,7 @@ class TrainingHistory:
         ("eval_iterations", np.int64), ("eval_rgb_psnrs", np.float64),
         ("eval_depth_psnrs", np.float64),
     )
+    _COUNTERS = ("guard_trips", "rollbacks", "lr_backoffs", "batch_skips")
 
     def state_dict(self) -> Dict[str, Any]:
         """Serialisable snapshot of every recorded series.
@@ -110,14 +128,22 @@ class TrainingHistory:
         Python ints/floats they were recorded as exactly — so a resumed
         run's loss history is bit-identical to an uninterrupted one's.
         """
-        return {name: np.asarray(getattr(self, name), dtype=dtype)
-                for name, dtype in self._FIELDS}
+        state = {name: np.asarray(getattr(self, name), dtype=dtype)
+                 for name, dtype in self._FIELDS}
+        state["health_counters"] = np.asarray(
+            [getattr(self, name) for name in self._COUNTERS], dtype=np.int64)
+        return state
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore :meth:`state_dict`, replacing all recorded series."""
         for name, dtype in self._FIELDS:
             cast = int if np.issubdtype(dtype, np.integer) else float
             getattr(self, name)[:] = [cast(v) for v in state[name]]
+        # Pre-health checkpoints carry no counters: all zero.
+        counters = state.get("health_counters")
+        for index, name in enumerate(self._COUNTERS):
+            setattr(self, name,
+                    int(counters[index]) if counters is not None else 0)
 
 
 @dataclass
@@ -135,6 +161,13 @@ class TrainingResult:
     #: Density-branch points queried by occupancy-grid refreshes over the
     #: run — the overhead side of the culling ledger (0 when disabled).
     occupancy_refresh_points: int = 0
+    #: Numerical-health ledger (zeros when guards were disabled): guard
+    #: trips detected, rollbacks performed, LR backoffs and batch skips
+    #: applied while recovering.
+    guard_trips: int = 0
+    rollbacks: int = 0
+    lr_backoffs: int = 0
+    batch_skips: int = 0
 
     @property
     def rgb_psnr(self) -> float:
@@ -226,6 +259,15 @@ class Trainer:
         self.density_updates = 0
         self.color_updates = 0
         self.occupancy_refresh_points = 0
+        # Numerical-health watchdog (config.health=None disables it: the
+        # loop below then runs the exact pre-health code path).
+        self.health: Optional[HealthMonitor] = None
+        self._snapshots: Optional[SnapshotRing] = None
+        self._last_snapshot_iteration = -1
+        self.last_guard_trip: Optional[GuardTrip] = None
+        if self.config.health is not None:
+            self.health = HealthMonitor(self.config.health)
+            self._snapshots = SnapshotRing(self.config.health.snapshot_ring)
         #: Optional :class:`~repro.training.profiler.PhaseTimer` splitting
         #: every step's wall time into sampling / forward / loss /
         #: backward-scatter / optimiser-step phases (``None`` = no timing
@@ -290,6 +332,16 @@ class Trainer:
             "occupancy": (self.occupancy.state_dict()
                           if self.occupancy is not None else None),
         }
+        if self.health is not None:
+            # LR backoffs live on the optimizers' ``lr`` attribute, which
+            # their own state_dicts deliberately exclude (lr is normally
+            # config-owned) — persist the effective values here so a
+            # resumed recovery replays with the backed-off step sizes.
+            state["health"] = {
+                "monitor": self.health.state_dict(),
+                "density_lr": float(self.density_optimizer.lr),
+                "color_lr": float(self.color_optimizer.lr),
+            }
         if history is not None:
             state["history"] = history.state_dict()
         return state
@@ -332,6 +384,18 @@ class Trainer:
         self.density_updates = int(state["density_updates"])
         self.color_updates = int(state["color_updates"])
         self.occupancy_refresh_points = int(state["occupancy_refresh_points"])
+        health_state = state.get("health")
+        if health_state is not None:
+            if self.health is None:
+                raise ValueError(
+                    "checkpoint carries numerical-health state but this "
+                    "trainer has no HealthPolicy configured; a resumed "
+                    "recovery would silently drop its LR backoffs")
+            self.health.load_state_dict(health_state["monitor"])
+            self.density_optimizer.lr = float(health_state["density_lr"])
+            self.color_optimizer.lr = float(health_state["color_lr"])
+        # (health-enabled trainer + pre-health checkpoint: monitor starts
+        # fresh, LRs stay at the config values — nothing to restore.)
         if history is not None:
             if "history" not in state:
                 raise ValueError(
@@ -381,6 +445,10 @@ class Trainer:
                     update_density=update_density,
                     update_color=update_color,
                 )
+            if get_injector() is not None:      # chaos hook: poison grads
+                fault_point("train.backward",
+                            arrays=self._gradient_arrays(
+                                update_density, update_color))
             # Unique hash-table rows carrying a gradient this step (the
             # software analogue of the entries the paper's BUM unit writes
             # back); stale branch counts are excluded via the update flags.
@@ -396,8 +464,19 @@ class Trainer:
                 if update_color:
                     self.color_optimizer.step()
                     self.color_updates += 1
+            if get_injector() is not None:      # chaos hook: poison params
+                fault_point("optimizer.step",
+                            arrays=[param.data
+                                    for param in self.model.parameters()])
 
         self.iteration += 1
+        guard_checked = False
+        if self.health is not None and self.health.check_due(self.iteration):
+            guard_checked = True
+            trip = self.health.check(self.iteration, float(loss),
+                                     self.model.parameters())
+            if trip is not None:
+                self.last_guard_trip = trip
         return {
             "iteration": float(self.iteration),
             "loss": loss,
@@ -408,7 +487,30 @@ class Trainer:
             "queries_kept": float(out.n_queried),
             "occupancy_fraction": float(out.occupancy_fraction),
             "grid_rows_touched": float(rows_touched),
+            "guard_checked": float(guard_checked),
+            "guard_tripped": float(self.last_guard_trip is not None),
         }
+
+    def _gradient_arrays(self, update_density: bool,
+                         update_color: bool) -> List[np.ndarray]:
+        """Live gradient buffers of the branches updating this step.
+
+        Only the updating branches' gradients are handed to the injector:
+        a stale branch's buffer is never read by the optimizer, so
+        corrupting it would make the injected fault silently vanish.
+        """
+        parameters: List[Any] = []
+        if update_density:
+            parameters.extend(self.model.density_parameters())
+        if update_color:
+            parameters.extend(self.model.color_parameters())
+        arrays: List[np.ndarray] = []
+        for param in parameters:
+            if param.sparse_grad is not None:
+                arrays.append(param.sparse_grad.values)
+            elif param.grad is not None:
+                arrays.append(param.grad)
+        return arrays
 
     # -- full run ---------------------------------------------------------------
     def run_steps(self, n_steps: int, history: TrainingHistory,
@@ -420,25 +522,160 @@ class Trainer:
         Used both by :meth:`train` and by the fleet orchestrator's
         round-robin scheduler, which interleaves slices of steps across
         scenes while keeping each scene's trajectory identical to a solo run.
+
+        With a :class:`~repro.reliability.health.HealthPolicy` configured,
+        a tripped guard rolls the trainer back to the last good snapshot
+        and replays with seeded remediation (LR backoff / batch skip); the
+        loop then keeps going until the *target* iteration is reached, so a
+        recovered run delivers the same number of net steps.  Exhausting
+        ``max_rollbacks`` raises
+        :class:`~repro.reliability.health.NumericalFault`.
         """
-        for _ in range(n_steps):
-            metrics = self.train_step()
-            history.record_step(
-                self.iteration, metrics["loss"], metrics["batch_psnr"],
-                queries_kept=int(metrics["queries_kept"]),
-                queries_total=int(metrics["queries_total"]),
-                occupancy_fraction=metrics["occupancy_fraction"],
-            )
-            if eval_every and self.iteration % eval_every == 0:
-                result = evaluate_model(
-                    self.model, self.dataset, n_views=eval_views,
-                    n_samples=eval_samples,
-                    white_background=self.config.white_background,
-                    occupancy=self.occupancy,
-                    early_termination_tau=self.config.early_termination_tau,
-                    policy=self.policy,
+        if self.health is None:
+            # Guards off: the exact pre-health loop, kept verbatim so the
+            # disabled path cannot drift from the frozen-oracle trainers.
+            for _ in range(n_steps):
+                metrics = self.train_step()
+                history.record_step(
+                    self.iteration, metrics["loss"], metrics["batch_psnr"],
+                    queries_kept=int(metrics["queries_kept"]),
+                    queries_total=int(metrics["queries_total"]),
+                    occupancy_fraction=metrics["occupancy_fraction"],
                 )
-                history.record_eval(self.iteration, result)
+                if eval_every and self.iteration % eval_every == 0:
+                    result = evaluate_model(
+                        self.model, self.dataset, n_views=eval_views,
+                        n_samples=eval_samples,
+                        white_background=self.config.white_background,
+                        occupancy=self.occupancy,
+                        early_termination_tau=self.config.early_termination_tau,
+                        policy=self.policy,
+                    )
+                    history.record_eval(self.iteration, result)
+            return
+
+        target = self.iteration + n_steps
+        try:
+            self._ensure_baseline_snapshot(history)
+            while self.iteration < target:
+                metrics = self.train_step()
+                if self.last_guard_trip is not None:
+                    # The just-finished step is poisoned: do not record it,
+                    # rewind instead.  The while condition then replays the
+                    # lost iterations.
+                    self._recover(history)
+                    continue
+                history.record_step(
+                    self.iteration, metrics["loss"], metrics["batch_psnr"],
+                    queries_kept=int(metrics["queries_kept"]),
+                    queries_total=int(metrics["queries_total"]),
+                    occupancy_fraction=metrics["occupancy_fraction"],
+                )
+                if eval_every and self.iteration % eval_every == 0:
+                    result = evaluate_model(
+                        self.model, self.dataset, n_views=eval_views,
+                        n_samples=eval_samples,
+                        white_background=self.config.white_background,
+                        occupancy=self.occupancy,
+                        early_termination_tau=self.config.early_termination_tau,
+                        policy=self.policy,
+                    )
+                    history.record_eval(self.iteration, result)
+                if metrics["guard_checked"] > 0.0 and (
+                        self.iteration - self._last_snapshot_iteration
+                        >= self.health.policy.snapshot_every):
+                    self._snapshots.push(self.iteration,
+                                         self.state_dict(history))
+                    self._last_snapshot_iteration = self.iteration
+        finally:
+            # Counters must reach the history even when NumericalFault
+            # aborts the run: the serving stats report poisoned scenes'
+            # trips from here.
+            self._sync_health_counters(history)
+
+    # -- divergence recovery -----------------------------------------------
+    def _sync_health_counters(self, history: TrainingHistory) -> None:
+        if self.health is None:
+            return
+        for name, value in self.health.counters().items():
+            setattr(history, name, value)
+
+    def _ensure_baseline_snapshot(self, history: TrainingHistory) -> None:
+        """Seed the ring at loop entry so the first trip has a rewind target.
+
+        Verifies the entry state is finite first: snapshotting an
+        already-poisoned trainer would make every rollback restore the
+        poison, so that is a :class:`NumericalFault` outright.
+        """
+        if len(self._snapshots) > 0:
+            return
+        if not all(all_finite(param.data)
+                   for param in self.model.parameters()):
+            raise NumericalFault(
+                "trainer entered run_steps with non-finite parameters; "
+                "nothing healthy to snapshot")
+        self._snapshots.push(self.iteration, self.state_dict(history))
+        self._last_snapshot_iteration = self.iteration
+
+    def _recover(self, history: TrainingHistory) -> None:
+        """Roll back to the newest good snapshot and arm the seeded replay.
+
+        The remediation ladder is deterministic: restore (which rewinds
+        model, optimizers, occupancy, RNG streams *and* the recorded
+        history), then multiply both optimizers' LR by ``lr_backoff``
+        (cumulative across consecutive rollbacks — the backoff survives
+        restores because ``lr`` is deliberately outside the optimizer
+        state_dict) and consume one pixel-scheduler draw so the replay sees
+        a shifted batch sequence.  ``max_rollbacks`` consecutive rollbacks
+        without a healthy check past the trip point raise
+        :class:`NumericalFault`; the trainer is still restored first so its
+        state stays finite (and checkpointable) for post-mortems.
+        """
+        monitor = self.health
+        policy = monitor.policy
+        trip = self.last_guard_trip
+        self.last_guard_trip = None
+        monitor.last_trip_iteration = max(monitor.last_trip_iteration,
+                                          trip.iteration)
+        entry = self._snapshots.restore_newest()
+        if entry is None:       # unreachable: _ensure_baseline_snapshot ran
+            raise NumericalFault(
+                f"guard trip {trip.reason!r} at iteration {trip.iteration} "
+                f"with an empty snapshot ring")
+        self._load_snapshot(entry, history)
+        monitor.rollback_attempts += 1
+        if monitor.budget_exhausted():
+            raise NumericalFault(
+                f"guard trip {trip.reason!r} at iteration {trip.iteration} "
+                f"({trip.detail}): rollback budget exhausted after "
+                f"{policy.max_rollbacks} consecutive rollbacks to "
+                f"iteration {entry['iteration']}")
+        monitor.rollbacks += 1
+        if policy.lr_backoff < 1.0:
+            self.density_optimizer.lr *= policy.lr_backoff
+            self.color_optimizer.lr *= policy.lr_backoff
+            monitor.lr_backoffs += 1
+        if policy.skip_batch:
+            # Discard as many scheduler draws as there have been consecutive
+            # rollbacks: the restore above rewound the pixel RNG to the
+            # snapshot state, so a *fixed* skip would replay the identical
+            # batch sequence on every attempt.  Escalating the skip count
+            # deterministically shifts each successive replay.
+            for _ in range(monitor.rollback_attempts):
+                self.scheduler.sample_batch(self._pixel_rng)
+            monitor.batch_skips += monitor.rollback_attempts
+
+    def _load_snapshot(self, entry: Dict[str, Any],
+                       history: TrainingHistory) -> None:
+        """Restore a ring entry, preserving the monitor's recovery ledger.
+
+        The snapshot's embedded health state describes the monitor *at
+        capture time*; restoring it would erase the trips and rollbacks
+        recorded since, so it is dropped and the live monitor carries on.
+        """
+        state = dict(entry["state"])
+        state.pop("health", None)
+        self.load_state_dict(state, history=history)
 
     def finalize(self, history: TrainingHistory, eval_views: int = 1,
                  eval_samples: int = 48) -> TrainingResult:
@@ -450,6 +687,7 @@ class Trainer:
             early_termination_tau=self.config.early_termination_tau,
             policy=self.policy,
         )
+        self._sync_health_counters(history)
         return TrainingResult(
             history=history,
             final_eval=final_eval,
@@ -458,6 +696,10 @@ class Trainer:
             color_updates=self.color_updates,
             final_occupancy_fraction=self.pipeline.occupancy_fraction,
             occupancy_refresh_points=self.occupancy_refresh_points,
+            guard_trips=history.guard_trips,
+            rollbacks=history.rollbacks,
+            lr_backoffs=history.lr_backoffs,
+            batch_skips=history.batch_skips,
         )
 
     def train(self, n_iterations: int, eval_every: Optional[int] = None,

@@ -7,6 +7,8 @@ still exercising the real code paths end to end.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,29 @@ from repro.datasets import make_synthetic_scene
 from repro.datasets.dataset import build_dataset
 from repro.grid.hash_encoding import HashGridConfig
 from repro.utils.seeding import new_rng
+
+#: CI numerics leg: REPRO_STRICT_NUMERICS=1 runs every test under
+#: ``np.errstate(invalid="raise", divide="raise")`` so silent invalid-value
+#: arithmetic in the hot paths fails loudly instead of producing NaNs.
+#: Tests that *deliberately* create non-finite values (the health-watchdog
+#: suite, fault-injection drills) opt out with ``@pytest.mark.nonfinite``.
+_STRICT_NUMERICS = os.environ.get("REPRO_STRICT_NUMERICS", "") not in ("", "0")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "nonfinite: test deliberately produces NaN/inf values; excluded "
+        "from the REPRO_STRICT_NUMERICS=1 errstate-raise leg")
+
+
+@pytest.fixture(autouse=True)
+def strict_numerics(request):
+    if not _STRICT_NUMERICS or request.node.get_closest_marker("nonfinite"):
+        yield
+        return
+    with np.errstate(invalid="raise", divide="raise"):
+        yield
 
 
 @pytest.fixture(scope="session")

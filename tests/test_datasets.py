@@ -7,6 +7,9 @@ from repro.datasets import (
     AnalyticScene,
     Box,
     Cylinder,
+    DatasetValidationError,
+    validate_dataset,
+    validate_view,
     GroundPlane,
     GroundTruthRenderer,
     NERF_SYNTHETIC_SCENES,
@@ -297,3 +300,65 @@ class TestSilvrLoader:
 
     def test_default_scene_list(self):
         assert SILVR_SCENES == ("garden", "agora", "zen_garden")
+
+
+class TestDatasetValidation:
+    """Loader contract: malformed views fail loudly at load time.
+
+    ``scannet_like`` / ``silvr_like`` route their rendered output through
+    :func:`validate_dataset`, so a NaN pixel or sheared pose is rejected
+    with a named view instead of surfacing as a NaN mid-training.
+    """
+
+    @pytest.fixture()
+    def valid_dataset(self):
+        return build_dataset(make_synthetic_scene("lego"), n_train_views=2,
+                             n_test_views=1, image_size=8, seed=0,
+                             gt_samples=16)
+
+    def test_loaders_emit_valid_datasets(self, scannet_dataset,
+                                         silvr_dataset):
+        assert validate_dataset(scannet_dataset) is scannet_dataset
+        assert validate_dataset(silvr_dataset) is silvr_dataset
+
+    @pytest.mark.nonfinite
+    def test_nan_pixel_rejected(self, valid_dataset):
+        valid_dataset.train_views[1].rgb[3, 3, 0] = np.nan
+        with pytest.raises(DatasetValidationError,
+                           match=r"train view 1.*non-finite pixels"):
+            validate_dataset(valid_dataset)
+
+    @pytest.mark.nonfinite
+    def test_nan_depth_rejected(self, valid_dataset):
+        valid_dataset.test_views[0].depth[0, 0] = np.inf
+        with pytest.raises(DatasetValidationError,
+                           match=r"test view 0.*non-finite"):
+            validate_dataset(valid_dataset)
+
+    @pytest.mark.nonfinite
+    def test_nan_pose_rejected(self, valid_dataset):
+        view = valid_dataset.train_views[0]
+        view.camera.pose[0, 3] = np.nan
+        with pytest.raises(DatasetValidationError, match="pose"):
+            validate_view(view)
+
+    def test_bad_focal_rejected(self, valid_dataset):
+        view = valid_dataset.train_views[0]
+        view.camera.focal = 0.0
+        with pytest.raises(DatasetValidationError, match="focal"):
+            validate_view(view)
+
+    def test_wrong_image_shape_rejected(self, valid_dataset):
+        view = valid_dataset.train_views[0]
+        view.rgb = view.rgb[:-1]
+        with pytest.raises(DatasetValidationError, match="rgb shape"):
+            validate_view(view)
+
+    def test_sheared_pose_rejected(self, valid_dataset):
+        # Scale one rotation column: the ray generator would re-normalize
+        # the lengths, silently bending orientations — the validator must
+        # reject the block itself.
+        view = valid_dataset.train_views[0]
+        view.camera.pose[:3, 0] *= 1.5
+        with pytest.raises(DatasetValidationError, match="orthonormal"):
+            validate_view(view)
